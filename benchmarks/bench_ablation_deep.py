@@ -1,0 +1,76 @@
+"""Ablation: deep multilevel vs classic recursive-bisection multilevel.
+
+KaMinPar's deep scheme [3] exists to make work independent of k: classic
+multilevel must stop coarsening at O(k) vertices and pay a full k-way
+initial partitioning there, so its cost grows with k; deep multilevel
+coarsens to constant size and splits blocks during uncoarsening.
+
+Expected shape: comparable cuts at small k; at large k deep is
+substantially faster (wall-clock -- both schemes run the same interpreter)
+while staying balanced.
+"""
+
+import time
+
+import repro
+from repro.bench.reporting import render_table
+from repro.core import config as C
+from repro.graph import generators as gen
+
+KS = [8, 32, 128]
+
+
+def run_experiment():
+    g = gen.rgg2d(5000, 8.0, seed=12)
+    rows = []
+    for k in KS:
+        t0 = time.perf_counter()
+        deep = repro.partition(g, k, C.preset("terapart-deep", seed=1))
+        t_deep = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        rec = repro.partition(g, k, C.terapart(seed=1))
+        t_rec = time.perf_counter() - t0
+        rows.append(
+            {
+                "k": k,
+                "deep_cut": deep.cut,
+                "rec_cut": rec.cut,
+                "deep_s": t_deep,
+                "rec_s": t_rec,
+                "deep_balanced": deep.balanced,
+                "rec_balanced": rec.balanced,
+                "deep_blocks": deep.pgraph.nonempty_blocks(),
+            }
+        )
+    return rows
+
+
+def test_ablation_deep(run_once, report_sink):
+    rows = run_once(run_experiment)
+    table = render_table(
+        ["k", "deep cut", "recursive cut", "deep s", "recursive s"],
+        [
+            (
+                r["k"],
+                r["deep_cut"],
+                r["rec_cut"],
+                f"{r['deep_s']:.2f}",
+                f"{r['rec_s']:.2f}",
+            )
+            for r in rows
+        ],
+        title="Ablation: deep multilevel vs recursive bisection (rgg2D)",
+    )
+    report_sink("ablation_deep", table)
+
+    for r in rows:
+        assert r["deep_balanced"] and r["rec_balanced"], r
+        assert r["deep_blocks"] == r["k"], r
+        # quality comparable (deep within 60% of recursive at this scale)
+        assert r["deep_cut"] < 1.6 * r["rec_cut"], r
+    # the point of the scheme: at large k, deep is clearly faster
+    large = rows[-1]
+    assert large["deep_s"] < 0.75 * large["rec_s"], large
+    # and the speed advantage grows with k
+    ratios = [r["deep_s"] / r["rec_s"] for r in rows]
+    assert ratios[-1] < ratios[0], ratios

@@ -1,0 +1,55 @@
+"""Figure 2: memory consumption per phase and level (webbase2001, k=64).
+
+Paper: the top three peaks all occur on the top-level graph -- (1)
+clustering in the coarsening stage (rating maps dominate), (2) FM
+refinement (gain table), (3) contraction.  Coarser levels contribute
+little.
+
+Here: the webbase2001 stand-in with the *unoptimized* baseline plus FM
+with the full gain table (the configuration Figure 2 profiles), p=96.
+Expected shape: level-0 clustering is the peak phase; refinement with the
+full table and contraction follow; level >= 1 peaks are much smaller.
+"""
+
+import repro
+from repro.bench.instances import load_instance
+from repro.bench.reporting import render_table
+from repro.core import config as C
+from repro.memory import MemoryTracker
+from repro.memory.report import render_phase_breakdown
+
+K = 64
+P = 96
+
+
+def run_breakdown():
+    graph = load_instance("webbase2001*")
+    tracker = MemoryTracker()
+    cfg = C.preset("kaminpar", seed=1, p=P).with_(
+        use_fm=True,
+        fm=C.FMConfig(gain_table=C.GainTableKind.FULL),
+        name="kaminpar-fm-full",
+    )
+    repro.partition(graph, K, cfg, tracker=tracker)
+    return tracker
+
+
+def test_fig2_phase_breakdown(run_once, report_sink):
+    tracker = run_once(run_breakdown)
+    text = render_phase_breakdown(tracker, max_depth=3)
+    phases = {p: s.peak_bytes for p, s in tracker.phases().items()}
+    rows = sorted(phases.items(), key=lambda kv: -kv[1])[:12]
+    table = render_table(
+        ["phase", "peak bytes"], rows, title="top phase peaks"
+    )
+    report_sink("fig2_phase_breakdown", text + "\n\n" + table)
+
+    # the peak must occur while working on the top-level graph
+    lvl0_cluster = tracker.phase_peak("partition/coarsening/coarsening-level0/clustering")
+    assert lvl0_cluster > 0
+    # level-0 clustering is within a whisker of the global peak
+    assert lvl0_cluster >= 0.6 * tracker.peak_bytes
+    # coarse levels contribute much less than level 0
+    lvl1 = tracker.phase_peak("partition/coarsening/coarsening-level1/clustering")
+    if lvl1:
+        assert lvl1 <= lvl0_cluster

@@ -1,0 +1,122 @@
+"""Figure 4: Benchmark Set A -- relative running time (left), relative peak
+memory (middle), and the solution-quality performance profile (right), with
+Mt-Metis as the external reference point.
+
+Paper claims reproduced in shape:
+* enabling (i) two-phase LP, (ii) compression, (iii) one-pass contraction
+  never hurts quality (profiles overlap) and cuts peak memory ~2x on
+  average (more on larger graphs);
+* two-phase LP *speeds up* the partitioner, compression costs a few
+  percent of time, one-pass contraction is roughly time-neutral
+  (modeled time; wall-clock in pure Python overstates decode cost);
+* Mt-Metis uses multiples of TeraPart's memory, is slower, and violates
+  the balance constraint on many instances while TeraPart never does.
+"""
+
+import numpy as np
+
+from repro.baselines import mtmetis_partition
+from repro.bench.harness import (
+    RunRecord,
+    aggregate,
+    geometric_mean,
+    relative_to,
+    run_matrix,
+)
+from repro.bench.instances import SET_A
+from repro.bench.profiles import performance_profile, profile_summary, render_profile
+from repro.bench.reporting import render_table
+from repro.core import config as C
+
+KS = [8, 64]
+SEEDS = [1]
+P = 96
+LADDER = ["kaminpar", "kaminpar+2lp", "kaminpar+2lp+compress", "terapart"]
+
+
+def _mtmetis_runner(cfg, inst, k, seed) -> RunRecord:
+    from repro.bench.instances import load_instance
+
+    graph = load_instance(inst.name)
+    r = mtmetis_partition(graph, k, seed=seed, p=P)
+    return RunRecord(
+        algorithm="mt-metis",
+        instance=inst.name,
+        k=k,
+        seed=seed,
+        cut=r.cut,
+        balanced=r.balanced,
+        imbalance=r.imbalance,
+        wall_seconds=r.wall_seconds,
+        modeled_seconds=r.modeled_seconds,
+        peak_bytes=r.peak_bytes,
+    )
+
+
+def run_experiment():
+    configs = [C.preset(nm, p=P) for nm in LADDER]
+    records = run_matrix(configs, SET_A, KS, SEEDS)
+    records += run_matrix([C.preset("terapart", p=P)], SET_A, KS, SEEDS,
+                          runner=_mtmetis_runner)
+    return records
+
+
+def test_fig4_setA(run_once, report_sink):
+    records = run_once(run_experiment)
+
+    mem = aggregate(records, "peak_bytes")
+    tim = aggregate(records, "modeled_seconds")
+    cut = aggregate(records, "cut")
+    rel_mem = relative_to(mem, "kaminpar")
+    rel_tim = relative_to(tim, "kaminpar")
+
+    rows = [
+        (alg, f"{rel_tim.get(alg, float('nan')):.3f}", f"{rel_mem.get(alg, float('nan')):.3f}")
+        for alg in LADDER + ["mt-metis"]
+    ]
+    table = render_table(
+        ["algorithm", "rel time (geo)", "rel peak mem (geo)"],
+        rows,
+        title="Figure 4 (left/middle): relative to KaMinPar over Set A",
+    )
+
+    # performance profile over cuts
+    cuts_by_alg: dict[str, dict[str, float]] = {}
+    for (alg, inst, k), v in cut.items():
+        cuts_by_alg.setdefault(alg, {})[f"{inst}/k{k}"] = v
+    taus, profiles = performance_profile(cuts_by_alg)
+    prof_txt = render_profile(taus, profiles)
+    summary = profile_summary(taus, profiles)
+
+    balanced_frac = {}
+    for alg in LADDER + ["mt-metis"]:
+        rs = [r for r in records if r.algorithm == alg]
+        balanced_frac[alg] = np.mean([r.balanced for r in rs])
+    bal_table = render_table(
+        ["algorithm", "balanced fraction"],
+        [(a, f"{v:.2f}") for a, v in balanced_frac.items()],
+    )
+    report_sink(
+        "fig4_setA",
+        table + "\n\n" + prof_txt + "\n\n" + bal_table,
+    )
+
+    # --- shape assertions (paper claims) --- #
+    # memory ladder is monotone and TeraPart saves substantially
+    assert rel_mem["terapart"] < 0.7
+    assert rel_mem["kaminpar+2lp"] <= 1.02
+    # two-phase LP does not slow down; compression costs little (modeled)
+    assert rel_tim["kaminpar+2lp"] <= 1.02
+    assert rel_tim["terapart"] <= 1.25
+    # Mt-Metis is slower (paper: 3.9x) and uses more memory than TeraPart
+    # (paper: 4.4x); at bench scale its footprint relative to the
+    # unoptimized KaMinPar depends on constants, so assert against TeraPart
+    assert rel_tim["mt-metis"] > 1.5
+    assert rel_mem["mt-metis"] > 2.0 * rel_mem["terapart"]
+    # quality: KaMinPar and TeraPart profiles overlap (avg cuts within 5%)
+    auc_k = summary["kaminpar"]["auc"]
+    auc_t = summary["terapart"]["auc"]
+    assert abs(auc_k - auc_t) < 0.08, (auc_k, auc_t)
+    # TeraPart always balanced; Mt-Metis frequently not
+    assert balanced_frac["terapart"] == 1.0
+    assert balanced_frac["mt-metis"] < 1.0

@@ -1,0 +1,94 @@
+"""Figure 8 (right): weak scaling of xTeraPart up to 128 compute nodes.
+
+Paper: with the per-node graph share held constant, xTeraPart partitions
+rgg2D / rhg graphs up to 2^44 edges on 128 nodes in just under 10 minutes;
+the time curve rises only mildly with the node count (good weak scaling).
+
+Here: per-rank share fixed at ~1500 vertices; ranks in {2, 4, 8, 16}
+(scaled from {8..128}); modeled time from the alpha-beta communication
+model + per-rank compute.  Expected shape: modeled time grows by far less
+than the 8x growth in total work; per-rank peak memory stays roughly flat.
+"""
+
+from repro.bench.reporting import render_series, render_table
+from repro.dist import dpartition
+from repro.dist.dpartitioner import DistConfig
+from repro.graph import generators as gen
+
+PER_RANK_N = 1500
+RANK_COUNTS = [2, 4, 8, 16]
+K = 16
+
+
+def run_experiment():
+    out = {}
+    for family in ("rgg2D", "rhg"):
+        series = []
+        for ranks in RANK_COUNTS:
+            n = PER_RANK_N * ranks
+            graph = (
+                gen.rgg2d(n, 12.0, seed=9)
+                if family == "rgg2D"
+                else gen.rhg(n, 12.0, gamma=3.0, seed=9)
+            )
+            r = dpartition(
+                graph, K, ranks, compressed=True, config=DistConfig(seed=1)
+            )
+            series.append(
+                {
+                    "ranks": ranks,
+                    "m": graph.m,
+                    "modeled": r.modeled_seconds,
+                    "peak_per_rank": r.max_rank_peak_bytes,
+                    "cut_pct": 100 * r.cut_fraction,
+                    "balanced": r.balanced,
+                }
+            )
+        out[family] = series
+    return out
+
+
+def test_fig8_weak_scaling(run_once, report_sink):
+    out = run_once(run_experiment)
+    blocks = []
+    for family, series in out.items():
+        rows = [
+            (
+                s["ranks"],
+                s["m"],
+                f"{s['modeled']*1e3:.2f}ms",
+                f"{s['peak_per_rank']/1024:.0f}K",
+                f"{s['cut_pct']:.2f}%",
+            )
+            for s in series
+        ]
+        blocks.append(
+            render_table(
+                ["ranks", "m", "modeled time", "peak/rank", "cut %"],
+                rows,
+                title=f"weak scaling: {family} (n per rank = {PER_RANK_N})",
+            )
+        )
+        blocks.append(
+            render_series(
+                f"{family} modeled seconds",
+                [s["ranks"] for s in series],
+                [s["modeled"] for s in series],
+            )
+        )
+    report_sink("fig8_weak_scaling", "\n\n".join(blocks))
+
+    for family, series in out.items():
+        assert all(s["balanced"] for s in series), family
+        # weak scaling: total work grows 8x; modeled time grows far less
+        # (the residual growth is the log-depth collective latency term)
+        t_first, t_last = series[0]["modeled"], series[-1]["modeled"]
+        assert t_last < 6.0 * t_first, (family, t_first, t_last)
+        # the sharper claim: time *per edge* falls or stays flat
+        eff_first = t_first / max(1, series[0]["m"])
+        eff_last = t_last / max(1, series[-1]["m"])
+        assert eff_last <= eff_first, (family, eff_first, eff_last)
+        # per-rank memory roughly flat (within 2.5x across an 8x scale-up)
+        p_first = series[0]["peak_per_rank"]
+        p_last = series[-1]["peak_per_rank"]
+        assert p_last < 2.5 * p_first, (family, p_first, p_last)

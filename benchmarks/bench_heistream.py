@@ -1,0 +1,72 @@
+"""Section VII: HeiStream (buffered streaming) vs TeraPart.
+
+Paper: on the generated tera-edge graphs at k=30000, HeiStream cuts 3.1x
+(rgg2D) to 14.8x (rhg) more edges than TeraPart.  Streaming's single pass
+cannot revise early assignments, and power-law (rhg) hubs make those early
+mistakes expensive.
+
+Here: scaled rgg2D/rhg; expected shape: HeiStream clearly worse on both
+families while using far less memory.  The paper's rgg-vs-rhg *asymmetry*
+(3.1x vs 14.8x) is driven by hub neighborhoods that span billions of
+vertices -- it does not emerge at bench scale (see EXPERIMENTS.md), so the
+per-family ratios are reported but only their common direction is asserted.
+"""
+
+import repro
+from repro.baselines import heistream_partition
+from repro.bench.reporting import render_table
+from repro.core import config as C
+from repro.graph import generators as gen
+
+K = 64
+N = 8000
+
+
+def run_experiment():
+    rows = []
+    for family, maker in (
+        ("rgg2D", lambda: gen.rgg2d(N, 16.0, seed=5)),
+        ("rhg", lambda: gen.rhg(N, 16.0, gamma=2.8, seed=5)),
+    ):
+        graph = maker()
+        tp = repro.partition(graph, K, C.terapart(seed=1, p=96))
+        hs = heistream_partition(graph, K, seed=1, buffer_size=256)
+        rows.append(
+            {
+                "family": family,
+                "tp_cut": tp.cut,
+                "hs_cut": hs.cut,
+                "ratio": hs.cut / max(1, tp.cut),
+                "hs_mem": hs.peak_bytes,
+                "tp_mem": tp.peak_bytes,
+                "hs_balanced": hs.balanced,
+            }
+        )
+    return rows
+
+
+def test_heistream(run_once, report_sink):
+    rows = run_once(run_experiment)
+    table = render_table(
+        ["family", "TeraPart cut", "HeiStream cut", "ratio", "HS mem KiB"],
+        [
+            (
+                r["family"],
+                r["tp_cut"],
+                r["hs_cut"],
+                f"{r['ratio']:.2f}x",
+                f"{r['hs_mem']/1024:.0f}",
+            )
+            for r in rows
+        ],
+        title=f"Section VII: HeiStream vs TeraPart (k={K})",
+    )
+    report_sink("heistream", table)
+
+    rgg, rhg = rows
+    # streaming is substantially worse on both families (paper: 3.1x/14.8x
+    # at k=30000 and tera-scale; smaller but clear at bench scale)
+    assert rgg["ratio"] > 1.5, rgg
+    assert rhg["ratio"] > 1.5, rhg
+    # its selling point holds: much smaller memory footprint
+    assert rgg["hs_mem"] < rgg["tp_mem"]

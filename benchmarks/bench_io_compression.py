@@ -1,0 +1,69 @@
+"""Section VI (Methodology): single-pass parallel compression I/O.
+
+Paper, on eu-2015 from a RAID-0 of NVMe SSDs: sequential load takes 572 s
+plain vs 2905 s with on-the-fly compression; with 96 cores both take
+~178 s -- parallel compression hides entirely behind the disk.
+
+This bench runs the *real* streaming pipeline on a binary file (correctness
++ measured packet behaviour) and evaluates the I/O time model at 1 and 96
+cores (the paper's headline numbers are bandwidth arithmetic; the model
+reproduces them directly).
+"""
+
+import numpy as np
+
+from repro.bench.instances import load_instance
+from repro.bench.reporting import render_table
+from repro.graph.compressed import compress_graph
+from repro.graph.compression import compress_graph_parallel, io_time_model
+from repro.graph.io import stream_compressed, write_binary
+from repro.memory import MemoryTracker
+from repro.parallel import ParallelRuntime
+
+EU2015_BYTES = 80.5e9 * 2 * 8  # the real graph's CSR edge bytes
+
+
+def run_experiment(tmpdir):
+    graph = load_instance("eu-2015*")
+    path = tmpdir / "eu2015.bin"
+    write_binary(graph, path)
+    cg_stream = stream_compressed(path, packet_edges=4096)
+    cg_mem = compress_graph(graph)
+    tracker = MemoryTracker()
+    rt = ParallelRuntime(8, chunk_size=256)
+    cg_par, traces = compress_graph_parallel(graph, rt, tracker=tracker)
+    model = {
+        (p, compress): io_time_model(EU2015_BYTES, p, compress=compress)
+        for p in (1, 96)
+        for compress in (False, True)
+    }
+    return cg_stream, cg_mem, cg_par, traces, tracker, model
+
+
+def test_io_compression(run_once, report_sink, tmp_path):
+    cg_stream, cg_mem, cg_par, traces, tracker, model = run_once(
+        run_experiment, tmp_path
+    )
+    rows = [
+        ("1 core, plain", f"{model[(1, False)]:.0f} s"),
+        ("1 core, compressing", f"{model[(1, True)]:.0f} s"),
+        ("96 cores, plain", f"{model[(96, False)]:.0f} s"),
+        ("96 cores, compressing", f"{model[(96, True)]:.0f} s"),
+    ]
+    table = render_table(
+        ["configuration", "modeled load time (eu-2015)"],
+        rows,
+        title="Section VI: I/O with on-the-fly compression "
+        f"({len(traces)} packets streamed at bench scale)",
+    )
+    report_sink("io_compression", table)
+
+    # streaming from disk and in-memory compression are byte-identical
+    assert cg_stream.data == cg_mem.data == cg_par.data
+    assert np.array_equal(cg_stream.offsets, cg_mem.offsets)
+    # the paper's ratios: sequential compression ~5x slower than plain;
+    # parallel compression within a few percent of plain I/O
+    assert model[(1, True)] > 3 * model[(1, False)]
+    assert model[(96, True)] < 1.05 * model[(96, False)]
+    # the overcommit pipeline never held more than a sliver of the bound
+    assert tracker.peak_bytes < cg_par.nbytes * 3

@@ -1,0 +1,70 @@
+"""Table II: TeraPart-LP vs TeraPart-FM on the Set B web graphs (k=64).
+
+Paper: FM reduces the edge cut to 0.87x-0.96x of LP's, at the cost of more
+time and roughly 2x the memory (gain table + FM working set).
+
+Expected shape here: FM cut <= LP cut on every web graph; FM uses more
+memory and more (modeled) time.
+"""
+
+import repro
+from repro.bench.instances import SET_B
+from repro.bench.reporting import render_table
+from repro.core import config as C
+
+K = 64
+P = 96
+
+
+def run_experiment():
+    rows = []
+    from repro.bench.instances import load_instance
+
+    for inst in SET_B:
+        graph = load_instance(inst.name)
+        lp = repro.partition(graph, K, C.terapart(seed=1, p=P))
+        fm = repro.partition(graph, K, C.terapart_fm(seed=1, p=P))
+        rows.append(
+            {
+                "graph": inst.name,
+                "lp_cut_pct": 100.0 * lp.cut_fraction,
+                "fm_rel": fm.cut / max(1, lp.cut),
+                "lp_time": lp.modeled_seconds,
+                "fm_time": fm.modeled_seconds,
+                "lp_mem": lp.peak_bytes,
+                "fm_mem": fm.peak_bytes,
+                "lp_balanced": lp.balanced,
+                "fm_balanced": fm.balanced,
+            }
+        )
+    return rows
+
+
+def test_table2_fm_webgraphs(run_once, report_sink):
+    rows = run_once(run_experiment)
+    table = render_table(
+        ["graph", "LP cut %", "FM cut (rel)", "LP mem KiB", "FM mem KiB"],
+        [
+            (
+                r["graph"],
+                f"{r['lp_cut_pct']:.2f}%",
+                f"{r['fm_rel']:.3f}x",
+                f"{r['lp_mem']/1024:.0f}",
+                f"{r['fm_mem']/1024:.0f}",
+            )
+            for r in rows
+        ],
+        title="Table II: TeraPart-LP vs TeraPart-FM on Set B stand-ins",
+    )
+    report_sink("table2_fm_webgraphs", table)
+
+    for r in rows:
+        assert r["fm_rel"] <= 1.001, r  # FM never worse
+        assert r["lp_balanced"] and r["fm_balanced"], r
+    # FM improves somewhere (paper: 4-13%)
+    assert min(r["fm_rel"] for r in rows) < 0.99
+    # FM never reduces the peak, and costs extra memory on the larger
+    # graphs (at bench scale the coarsening peak can still dominate the
+    # gain table, so equality is legitimate on small instances)
+    assert all(r["fm_mem"] >= r["lp_mem"] for r in rows)
+    assert any(r["fm_mem"] > r["lp_mem"] for r in rows)

@@ -1,0 +1,83 @@
+"""Table IV: TeraPart vs the semi-external memory algorithm (SEM, [35]).
+
+Paper (k=16, eps=3%, four web graphs): TeraPart cuts fewer edges on every
+graph, runs ~7-11x faster, and uses somewhat less memory -- SEM's virtue is
+its O(n) residency, which TeraPart's compression matches while keeping full
+in-memory speed.
+
+Here: weblike stand-ins for arabic-2005 / uk-2002 / sk-2005 / uk-2007.
+Time is compared with the modeled clocks (SEM re-streams every pass from
+SSD -- the mechanism of its slowdown; wall-clock in one address space
+cannot show it).
+"""
+
+import repro
+from repro.baselines import sem_partition
+from repro.bench.instances import SEM_GRAPHS
+from repro.bench.reporting import render_table
+from repro.core import config as C
+
+K = 16
+
+
+def run_experiment():
+    rows = []
+    from repro.bench.instances import load_instance
+
+    for inst in SEM_GRAPHS:
+        graph = load_instance(inst.name)
+        tp = repro.partition(graph, K, C.terapart(seed=1, p=16))
+        se = sem_partition(graph, K, seed=1)
+        rows.append(
+            {
+                "graph": inst.name,
+                "tp_cut": tp.cut,
+                "sem_cut": se.cut,
+                "tp_time": tp.modeled_seconds,
+                "sem_time": se.modeled_seconds,
+                "tp_mem": tp.peak_bytes,
+                "sem_mem": se.peak_bytes,
+                "tp_balanced": tp.balanced,
+                "sem_balanced": se.balanced,
+            }
+        )
+    return rows
+
+
+def test_table4_sem(run_once, report_sink):
+    rows = run_once(run_experiment)
+    table = render_table(
+        ["graph", "algo", "cut", "modeled time", "mem KiB"],
+        [
+            row
+            for r in rows
+            for row in (
+                (
+                    r["graph"],
+                    "TeraPart",
+                    r["tp_cut"],
+                    f"{r['tp_time']*1e3:.2f}ms",
+                    f"{r['tp_mem']/1024:.0f}",
+                ),
+                (
+                    "",
+                    "SEM",
+                    r["sem_cut"],
+                    f"{r['sem_time']*1e3:.2f}ms",
+                    f"{r['sem_mem']/1024:.0f}",
+                ),
+            )
+        ],
+        title=f"Table IV: TeraPart vs semi-external memory (k={K})",
+    )
+    report_sink("table4_sem", table)
+
+    for r in rows:
+        assert r["tp_balanced"] and r["sem_balanced"], r
+        # SEM is much slower (paper: ~an order of magnitude)
+        assert r["sem_time"] > 3.0 * r["tp_time"], r
+    # TeraPart's cuts at least competitive on average (paper: better on all)
+    import numpy as np
+
+    rel = np.mean([r["tp_cut"] / max(1, r["sem_cut"]) for r in rows])
+    assert rel < 1.15, rel

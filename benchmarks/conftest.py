@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures and report sink.
+
+Every bench target regenerates one table or figure of the paper: it runs
+the experiment once inside ``benchmark.pedantic`` (so ``pytest benchmarks/
+--benchmark-only`` times the regeneration), prints the table/series the
+paper reports, asserts the paper's qualitative *shape* (who wins, rough
+factors), and persists the rendered output under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

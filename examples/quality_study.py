@@ -1,0 +1,54 @@
+"""Comparing partitioners on quality metrics beyond the edge cut.
+
+Runs TeraPart (LP and FM refinement), the deep-multilevel variant, and the
+streaming/single-level baselines on one graph and reports the full metric
+set: edge cut, communication volume, boundary size, balance, and block
+connectivity -- the numbers a distributed-systems user would look at before
+choosing a partitioner.
+
+Run:  python examples/quality_study.py
+"""
+
+import repro
+from repro.baselines import heistream_partition, xtrapulp_partition
+from repro.core import config as C
+from repro.core.metrics import compute_metrics
+from repro.core.partition import PartitionedGraph
+from repro.graph import generators
+
+K = 16
+graph = generators.rhg(6_000, avg_degree=12, gamma=2.9, seed=17)
+print(f"graph: rhg n={graph.n:,} m={graph.m:,} max degree={graph.max_degree}\n")
+
+candidates = {}
+candidates["terapart-lp"] = repro.partition(graph, K, C.terapart(seed=1)).pgraph
+candidates["terapart-fm"] = repro.partition(graph, K, C.terapart_fm(seed=1)).pgraph
+candidates["terapart-deep"] = repro.partition(
+    graph, K, C.preset("terapart-deep", seed=1)
+).pgraph
+candidates["xtrapulp"] = PartitionedGraph(
+    graph, K, xtrapulp_partition(graph, K, seed=1).partition
+)
+candidates["heistream"] = PartitionedGraph(
+    graph, K, heistream_partition(graph, K, seed=1, buffer_size=512).partition
+)
+
+header = (
+    f"{'algorithm':<15}{'cut':>8}{'cut %':>8}{'comm vol':>10}"
+    f"{'boundary':>10}{'imbal':>8}{'conn':>7}"
+)
+print(header)
+print("-" * len(header))
+for name, pg in candidates.items():
+    m = compute_metrics(pg)
+    print(
+        f"{name:<15}{m.cut_weight:>8,}{m.cut_fraction:>8.1%}"
+        f"{m.communication_volume:>10,}{m.boundary_vertices:>10,}"
+        f"{m.imbalance:>8.3f}{m.connected_blocks:>5}/{m.k}"
+    )
+
+print(
+    "\nReading guide: multilevel methods (terapart-*) should dominate the"
+    "\nsingle-pass baselines on cut and communication volume; FM should"
+    "\nedge out LP; everything TeraPart produces stays balanced."
+)

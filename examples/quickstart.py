@@ -1,0 +1,31 @@
+"""Quickstart: partition a graph in five lines.
+
+Generates a random geometric graph (the paper's ``rgg2D`` family), splits
+it into 16 balanced blocks with the TeraPart configuration, and prints the
+quality/memory numbers a user cares about.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.core import config as C
+from repro.graph import generators
+
+# 1. get a graph: any CSRGraph works -- from a generator, an edge list
+#    (repro.graph.builder.from_edges) or a file (repro.graph.io)
+graph = generators.rgg2d(10_000, avg_degree=8, seed=42)
+
+# 2. partition into k balanced blocks (eps = 3% like the paper)
+result = repro.partition(graph, k=16, config=C.terapart(seed=1))
+
+# 3. use the result
+print(f"graph:        n={graph.n:,}, m={graph.m:,}")
+print(f"edge cut:     {result.cut:,} edges ({result.cut_fraction:.2%} of total)")
+print(f"imbalance:    {result.imbalance:.3f} (balanced: {result.balanced})")
+print(f"peak memory:  {result.peak_bytes / 1024:.0f} KiB (ledger)")
+print(f"levels:       {result.num_levels} coarsening levels")
+print(f"block of v0:  {result.partition[0]}")
+
+# the partition array maps every vertex to its block
+assert len(result.partition) == graph.n
+assert result.balanced

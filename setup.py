@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline PEP-517
+editable installs need bdist_wheel); `pip install -e . --no-build-isolation
+--no-use-pep517` works through this file."""
+from setuptools import setup
+
+setup()

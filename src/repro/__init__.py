@@ -1,0 +1,42 @@
+"""TeraPart reproduction: memory-efficient tera-scale multilevel graph
+partitioning (IPDPS 2025).
+
+Quickstart::
+
+    import repro
+    from repro.graph import generators
+
+    g = generators.rgg2d(10_000, avg_degree=8, seed=1)
+    result = repro.partition(g, k=16)
+    print(result.cut, result.imbalance, result.peak_bytes)
+
+The main entry points:
+
+* :func:`repro.partition` -- partition a graph with a configured variant.
+* :mod:`repro.core.config` -- the algorithm-variant presets
+  (``kaminpar`` ... ``terapart_fm``) measured in the paper.
+* :mod:`repro.graph` -- graph substrate: CSR + compressed representations,
+  generators, I/O.
+* :mod:`repro.dist` -- the simulated distributed runtime and xTeraPart.
+* :mod:`repro.baselines` -- Mt-Metis / ParMETIS / XtraPuLP / HeiStream / SEM
+  style comparison partitioners.
+* :mod:`repro.bench` -- the benchmark harness regenerating every table and
+  figure of the paper.
+"""
+
+from repro.core import PartitionedGraph, PartitionResult, partition
+from repro.core import config
+from repro.memory import MemoryTracker
+from repro.parallel import ParallelRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PartitionedGraph",
+    "PartitionResult",
+    "partition",
+    "config",
+    "MemoryTracker",
+    "ParallelRuntime",
+    "__version__",
+]

@@ -1,0 +1,226 @@
+"""Semi-external multilevel partitioning (Akhremtsev et al. [35]).
+
+Semi-external algorithms keep only O(n) auxiliary arrays in memory; the
+edge list lives on disk and is *streamed* once per pass.  The algorithm:
+
+1. several streamed label-propagation passes produce a clustering,
+2. the contracted graph (small enough to fit) is partitioned in memory
+   with the full multilevel algorithm,
+3. the partition is projected back and improved with streamed
+   size-constrained LP passes (FM is out of reach in this model -- the
+   paper notes sophisticated heuristics "seem difficult").
+
+Table IV's pattern follows from the structure: memory close to TeraPart's
+compressed footprint (O(n) + coarse graph), running time an order of
+magnitude higher (every pass re-streams all edges from storage and the
+refinement is weaker per pass), and slightly worse cuts (fewer hierarchy
+levels, no FM on the fine levels).
+
+The simulation charges only the O(n) arrays plus a stream buffer to the
+ledger and counts streamed bytes; each pass really iterates the full edge
+set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro
+from repro.core import config as C
+from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.graph.access import chunk_adjacency, segment_reduce_ratings
+from repro.memory.tracker import MemoryTracker
+
+
+@dataclass
+class SemResult:
+    partition: np.ndarray
+    cut: int
+    imbalance: float
+    balanced: bool
+    wall_seconds: float
+    peak_bytes: int
+    streamed_bytes: int
+    passes: int
+    modeled_seconds: float = 0.0
+
+
+STREAM_CHUNK = 1024
+
+
+def _streamed_lp_pass(
+    graph, labels, label_weights, vwgt, cap, rng, tracker, stream_bytes
+):
+    """One pass over the streamed edge list updating labels in place."""
+    n = graph.n
+    order = rng.permutation(n).astype(np.int64)
+    moved = 0
+    for start in range(0, n, STREAM_CHUNK):
+        cidx = order[start : start + STREAM_CHUNK]
+        owner, nbrs, wgts = chunk_adjacency(graph, cidx)
+        stream_bytes[0] += 16 * len(owner)
+        if len(owner) == 0:
+            continue
+        po, pl, pr = segment_reduce_ratings(owner, labels[nbrs], wgts, n)
+        us = cidx[po]
+        cur = labels[us]
+        is_cur = pl == cur
+        rank = 2 * pr + is_cur
+        ordc = np.lexsort((rank, po))
+        last = np.empty(len(ordc), dtype=bool)
+        last[-1] = True
+        last[:-1] = po[ordc][1:] != po[ordc][:-1]
+        best = ordc[last]
+        for o, l in zip(po[best].tolist(), pl[best].tolist()):
+            u = int(cidx[o])
+            if labels[u] == l:
+                continue
+            w = int(vwgt[u])
+            if label_weights[l] + w > cap:
+                continue
+            label_weights[labels[u]] -= w
+            label_weights[l] += w
+            labels[u] = l
+            moved += 1
+    return moved
+
+
+def sem_partition(
+    graph,
+    k: int,
+    *,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    clustering_passes: int = 5,
+    refinement_passes: int = 3,
+    tracker: MemoryTracker | None = None,
+) -> SemResult:
+    """Semi-external multilevel partitioning."""
+    tracker = tracker or MemoryTracker()
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    n = graph.n
+    vwgt = np.asarray(graph.vwgt)
+    stream_bytes = [0]
+    passes = 0
+
+    # O(n) in-memory state: labels, label weights, stream buffer
+    aids = [
+        tracker.alloc("labels", 8 * n, "labels"),
+        tracker.alloc("label-weights", 8 * n, "labels"),
+        tracker.alloc(
+            "stream-buffer",
+            16 * STREAM_CHUNK * max(1, int(np.ceil(graph.degrees.mean()))),
+            "buffer",
+        ),
+    ]
+
+    labels = np.arange(n, dtype=np.int64)
+    label_weights = vwgt.astype(np.int64).copy()
+    cap = max(1, graph.total_vertex_weight // max(32 * k, 1))
+    for _ in range(clustering_passes):
+        passes += 1
+        if not _streamed_lp_pass(
+            graph, labels, label_weights, vwgt, cap, rng, tracker, stream_bytes
+        ):
+            break
+
+    # contract (streamed aggregation; coarse graph fits in memory)
+    leaders = np.unique(labels)
+    n_coarse = len(leaders)
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[leaders] = np.arange(n_coarse, dtype=np.int64)
+    f2c = remap[labels]
+    from repro.core.coarsening.contraction import aggregate_coarse_edges
+
+    cu, cv, w = aggregate_coarse_edges(graph, f2c, n_coarse)
+    stream_bytes[0] += 16 * graph.num_directed_edges
+    passes += 1
+    degrees = np.bincount(cu, minlength=n_coarse).astype(np.int64)
+    indptr = np.zeros(n_coarse + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    from repro.graph.csr import CSRGraph
+
+    cvw = np.zeros(n_coarse, dtype=np.int64)
+    np.add.at(cvw, f2c, vwgt)
+    unit = bool(len(w) == 0 or np.all(w == 1))
+    coarse = CSRGraph(
+        indptr, cv, None if unit else w, cvw, sorted_neighborhoods=True
+    )
+    coarse_aid = tracker.alloc("coarse-graph", coarse.nbytes, "graph")
+
+    # in-memory multilevel on the coarse graph
+    inner = repro.partition(
+        coarse, k, C.terapart(seed=seed, compress_input=False), tracker=tracker
+    )
+    part = inner.partition[f2c].astype(np.int32)
+    tracker.free(coarse_aid)
+
+    # streamed LP refinement on the full graph
+    lmax = max_block_weight(graph.total_vertex_weight, k, epsilon)
+    block_weights = np.zeros(k, dtype=np.int64)
+    np.add.at(block_weights, part, vwgt)
+    for _ in range(refinement_passes):
+        passes += 1
+        moved = 0
+        order = rng.permutation(n).astype(np.int64)
+        for start in range(0, n, STREAM_CHUNK):
+            cidx = order[start : start + STREAM_CHUNK]
+            owner, nbrs, wgts = chunk_adjacency(graph, cidx)
+            stream_bytes[0] += 16 * len(owner)
+            if len(owner) == 0:
+                continue
+            po, pb, pr = segment_reduce_ratings(
+                owner, part[nbrs].astype(np.int64), wgts, k
+            )
+            us = cidx[po]
+            cur = part[us].astype(np.int64)
+            cur_aff = np.zeros(len(cidx), dtype=np.int64)
+            is_cur = pb == cur
+            cur_aff[po[is_cur]] = pr[is_cur]
+            gain = pr - cur_aff[po]
+            ok = ~is_cur & (gain > 0)
+            if not np.any(ok):
+                continue
+            po2, pb2, g2 = po[ok], pb[ok], gain[ok]
+            ordc = np.lexsort((g2, po2))
+            last = np.empty(len(ordc), dtype=bool)
+            last[-1] = True
+            last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
+            for o, b in zip(po2[ordc[last]].tolist(), pb2[ordc[last]].tolist()):
+                u = int(cidx[o])
+                w_ = int(vwgt[u])
+                if block_weights[b] + w_ > lmax:
+                    continue
+                block_weights[part[u]] -= w_
+                block_weights[b] += w_
+                part[u] = b
+                moved += 1
+        if moved == 0:
+            break
+
+    for a in aids:
+        tracker.free(a)
+    pg = PartitionedGraph(graph, k, part)
+    # modeled time: every pass re-streams the edge list from SSD
+    # (~2 GB/s) plus sequential-ish compute on the streamed edges; this is
+    # the mechanism behind Table IV's order-of-magnitude slowdown.
+    ssd_bandwidth = 2e9
+    compute_rate = 30e6  # edges/s on the 16-core comparison machine
+    modeled = stream_bytes[0] / ssd_bandwidth + (
+        stream_bytes[0] / 16
+    ) / compute_rate
+    return SemResult(
+        partition=part,
+        cut=pg.cut_weight(),
+        imbalance=pg.imbalance(),
+        balanced=pg.is_balanced(epsilon),
+        wall_seconds=time.perf_counter() - t0,
+        peak_bytes=tracker.peak_bytes,
+        streamed_bytes=stream_bytes[0],
+        passes=passes,
+        modeled_seconds=modeled,
+    )

@@ -1,0 +1,122 @@
+"""XtraPuLP-style single-level k-way label propagation partitioner [7], [33].
+
+XtraPuLP scales to trillion-edge graphs across thousands of nodes precisely
+*because* it skips the multilevel framework: it initializes k blocks and
+runs constrained label propagation directly on the input graph, alternating
+balance-focused and cut-focused phases.  The cost is solution quality -- the
+paper measures 5.56x-68.44x higher cuts than xTeraPart (Table III), with the
+gap largest on power-law (rhg) graphs, and balance violations on rgg.
+
+This reimplementation follows the PuLP scheme: random block initialization,
+degree-weighted LP with a multiplicative balance penalty, a fixed number of
+outer iterations.  Memory is O(n + k) beyond the graph, which is why it
+never OOMs where multilevel systems do.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.graph.access import chunk_adjacency, segment_reduce_ratings
+from repro.memory.tracker import MemoryTracker
+
+
+@dataclass
+class XtraPulpResult:
+    partition: np.ndarray
+    cut: int
+    imbalance: float
+    balanced: bool
+    wall_seconds: float
+    peak_bytes: int
+
+
+def xtrapulp_partition(
+    graph,
+    k: int,
+    *,
+    epsilon: float = 0.03,
+    seed: int = 0,
+    outer_iterations: int = 3,
+    lp_iterations: int = 5,
+    tracker: MemoryTracker | None = None,
+) -> XtraPulpResult:
+    """Single-level constrained label propagation partitioning."""
+    tracker = tracker or MemoryTracker()
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    n = graph.n
+    vwgt = np.asarray(graph.vwgt)
+    total = graph.total_vertex_weight
+    lmax = max_block_weight(total, k, epsilon)
+
+    aids = [
+        tracker.alloc("input-graph", graph.nbytes, "graph"),
+        tracker.alloc("labels", 4 * n, "labels"),
+        tracker.alloc("block-weights", 8 * k, "labels"),
+    ]
+
+    # random block initialization (PuLP-style)
+    part = rng.integers(0, k, size=n).astype(np.int32)
+    block_weights = np.zeros(k, dtype=np.int64)
+    np.add.at(block_weights, part, vwgt)
+
+    chunk = 4096
+    for outer in range(outer_iterations):
+        # alternate a balance-leaning and a cut-leaning phase
+        for it in range(lp_iterations):
+            balance_phase = it % 2 == 0 and outer == 0
+            order = rng.permutation(n).astype(np.int64)
+            moved = 0
+            for start in range(0, n, chunk):
+                cidx = order[start : start + chunk]
+                owner, nbrs, wgts = chunk_adjacency(graph, cidx)
+                if len(owner) == 0:
+                    continue
+                po, pb, pr = segment_reduce_ratings(
+                    owner, part[nbrs].astype(np.int64), wgts, k
+                )
+                us = cidx[po]
+                # multiplicative balance penalty on overloaded targets
+                load = block_weights[pb] / max(1.0, total / k)
+                penalty = np.maximum(0.1, 2.0 - load) if balance_phase else np.minimum(
+                    1.0, np.maximum(0.05, (lmax - block_weights[pb]) / max(lmax, 1))
+                )
+                score = pr * penalty
+                cur = part[us].astype(np.int64)
+                is_cur = pb == cur
+                score = score + is_cur * 1e-9
+                ordc = np.lexsort((score, po))
+                last = np.empty(len(ordc), dtype=bool)
+                last[-1] = True
+                last[:-1] = po[ordc][1:] != po[ordc][:-1]
+                best = ordc[last]
+                for o, b in zip(po[best].tolist(), pb[best].tolist()):
+                    u = int(cidx[o])
+                    if part[u] == b:
+                        continue
+                    w = int(vwgt[u])
+                    if block_weights[b] + w > lmax * 1.1:
+                        continue
+                    block_weights[part[u]] -= w
+                    block_weights[b] += w
+                    part[u] = b
+                    moved += 1
+            if moved == 0:
+                break
+
+    for a in aids:
+        tracker.free(a)
+    pg = PartitionedGraph(graph, k, part)
+    return XtraPulpResult(
+        partition=part,
+        cut=pg.cut_weight(),
+        imbalance=pg.imbalance(),
+        balanced=pg.is_balanced(epsilon),
+        wall_seconds=time.perf_counter() - t0,
+        peak_bytes=tracker.peak_bytes,
+    )

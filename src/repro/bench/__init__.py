@@ -1,0 +1,34 @@
+"""Benchmark harness: instance sets, run matrix, aggregation, reporting.
+
+Every table and figure in the paper's evaluation section has a bench target
+under ``benchmarks/`` built from these pieces (see DESIGN.md section 4 for
+the full index and EXPERIMENTS.md for paper-vs-measured records).
+"""
+
+from repro.bench.instances import (
+    SET_A,
+    SET_B,
+    Instance,
+    load_instance,
+    set_a_instances,
+    set_b_instances,
+)
+from repro.bench.harness import RunRecord, aggregate, geometric_mean, harmonic_mean, run_matrix
+from repro.bench.profiles import performance_profile
+from repro.bench.reporting import render_table
+
+__all__ = [
+    "SET_A",
+    "SET_B",
+    "Instance",
+    "load_instance",
+    "set_a_instances",
+    "set_b_instances",
+    "RunRecord",
+    "aggregate",
+    "geometric_mean",
+    "harmonic_mean",
+    "run_matrix",
+    "performance_profile",
+    "render_table",
+]

@@ -1,0 +1,138 @@
+"""Run-matrix execution and the paper's aggregation rules.
+
+Methodology (Section VI): an *instance* is a (graph, k) pair; metrics are
+averaged over seeds with the arithmetic mean per instance, then aggregated
+across instances with the geometric mean (memory, time, cut) or harmonic
+mean (relative speedups).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import repro
+from repro.bench.instances import Instance, load_instance
+from repro.core.config import PartitionerConfig
+
+
+@dataclass
+class RunRecord:
+    """One (algorithm, instance, k, seed) measurement."""
+
+    algorithm: str
+    instance: str
+    k: int
+    seed: int
+    cut: int
+    balanced: bool
+    imbalance: float
+    wall_seconds: float
+    modeled_seconds: float
+    peak_bytes: int
+    extra: dict = field(default_factory=dict)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def run_partitioner(
+    config: PartitionerConfig,
+    instance: Instance,
+    k: int,
+    seed: int,
+) -> RunRecord:
+    """Run the core partitioner once and record every reported metric."""
+    graph = load_instance(instance.name)
+    result = repro.partition(graph, k, config.with_(seed=seed))
+    return RunRecord(
+        algorithm=config.name,
+        instance=instance.name,
+        k=k,
+        seed=seed,
+        cut=result.cut,
+        balanced=result.balanced,
+        imbalance=result.imbalance,
+        wall_seconds=result.wall_seconds,
+        modeled_seconds=result.modeled_seconds,
+        peak_bytes=result.peak_bytes,
+        extra={"num_levels": result.num_levels},
+    )
+
+
+def run_matrix(
+    configs: Iterable[PartitionerConfig],
+    instances: Iterable[Instance],
+    ks: Iterable[int],
+    seeds: Iterable[int],
+    *,
+    runner: Callable[[PartitionerConfig, Instance, int, int], RunRecord] | None = None,
+    progress: bool = False,
+) -> list[RunRecord]:
+    """The full cross product of configurations x instances x k x seeds."""
+    runner = runner or run_partitioner
+    records: list[RunRecord] = []
+    configs = list(configs)
+    instances = list(instances)
+    ks = list(ks)
+    seeds = list(seeds)
+    total = len(configs) * len(instances) * len(ks) * len(seeds)
+    done = 0
+    t0 = time.perf_counter()
+    for cfg in configs:
+        for inst in instances:
+            for k in ks:
+                for seed in seeds:
+                    records.append(runner(cfg, inst, k, seed))
+                    done += 1
+                    if progress and done % 10 == 0:
+                        elapsed = time.perf_counter() - t0
+                        print(
+                            f"  [{done}/{total}] {elapsed:6.1f}s", flush=True
+                        )
+    return records
+
+
+def aggregate(
+    records: list[RunRecord], metric: str = "cut"
+) -> dict[tuple[str, str, int], float]:
+    """Arithmetic mean per (algorithm, instance, k) over seeds."""
+    groups: dict[tuple[str, str, int], list[float]] = {}
+    for r in records:
+        key = (r.algorithm, r.instance, r.k)
+        groups.setdefault(key, []).append(float(getattr(r, metric)))
+    return {k: float(np.mean(v)) for k, v in groups.items()}
+
+
+def relative_to(
+    agg: dict[tuple[str, str, int], float], baseline: str
+) -> dict[str, float]:
+    """Geometric-mean ratio of each algorithm to the baseline, paired per
+    instance (the paper's relative running time / memory plots)."""
+    algorithms = sorted({k[0] for k in agg})
+    out: dict[str, float] = {}
+    for alg in algorithms:
+        ratios = []
+        for (a, inst, k), v in agg.items():
+            if a != alg:
+                continue
+            base = agg.get((baseline, inst, k))
+            if base and base > 0 and v > 0:
+                ratios.append(v / base)
+        out[alg] = geometric_mean(ratios) if ratios else float("nan")
+    return out

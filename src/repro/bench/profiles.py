@@ -1,0 +1,85 @@
+"""Performance profiles (Dolan-Moré [31]) as used for the quality plots.
+
+For each algorithm ``A`` and threshold ``tau``, the profile value is the
+fraction of instances whose cut is within ``tau`` times the best cut any
+algorithm achieved on that instance.  ``tau = 1`` gives the fraction of
+instances where the algorithm is (tied-)best; the curve's approach to 1.0
+measures robustness (Section VI, Methodology).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def performance_profile(
+    cuts: dict[str, dict[str, float]],
+    taus: np.ndarray | None = None,
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Compute profiles from ``cuts[algorithm][instance]``.
+
+    Returns ``(taus, {algorithm: fraction_at_tau})``.  Instances missing
+    for an algorithm (failed runs) count as never-within-tau, matching how
+    the paper treats Mt-Metis' failures.
+    """
+    algorithms = sorted(cuts)
+    instances = sorted({i for per in cuts.values() for i in per})
+    if taus is None:
+        taus = np.linspace(1.0, 2.0, 101)
+    best: dict[str, float] = {}
+    for inst in instances:
+        vals = [
+            cuts[a][inst]
+            for a in algorithms
+            if inst in cuts[a] and cuts[a][inst] >= 0
+        ]
+        best[inst] = min(vals) if vals else float("inf")
+    profiles: dict[str, np.ndarray] = {}
+    for a in algorithms:
+        fracs = np.zeros(len(taus))
+        for inst in instances:
+            if inst not in cuts[a] or cuts[a][inst] < 0:
+                continue
+            b = best[inst]
+            ratio = 1.0 if b == 0 else (
+                float("inf") if b == float("inf") else cuts[a][inst] / b
+            )
+            if cuts[a][inst] == 0 and b == 0:
+                ratio = 1.0
+            fracs += (taus >= ratio - 1e-12).astype(float)
+        profiles[a] = fracs / max(1, len(instances))
+    return taus, profiles
+
+
+def profile_summary(
+    taus: np.ndarray, profiles: dict[str, np.ndarray]
+) -> dict[str, dict[str, float]]:
+    """Headline numbers per algorithm: fraction best (tau=1), fraction
+    within 5% / 50%, and the area under the profile (higher = better)."""
+    out = {}
+    for a, fr in profiles.items():
+        out[a] = {
+            "best": float(fr[0]),
+            "within_1.05": float(fr[np.searchsorted(taus, 1.05)]),
+            "within_1.5": float(fr[np.searchsorted(taus, 1.5)]),
+            "auc": float(np.trapezoid(fr, taus) / (taus[-1] - taus[0])),
+        }
+    return out
+
+
+def render_profile(
+    taus: np.ndarray,
+    profiles: dict[str, np.ndarray],
+    *,
+    width: int = 60,
+    points: tuple[float, ...] = (1.0, 1.01, 1.05, 1.1, 1.25, 1.5, 2.0),
+) -> str:
+    """ASCII rendering: one row per algorithm, profile values at key taus."""
+    lines = ["tau:        " + "".join(f"{t:>8.2f}" for t in points)]
+    for a in sorted(profiles):
+        vals = [
+            profiles[a][min(len(taus) - 1, int(np.searchsorted(taus, t)))]
+            for t in points
+        ]
+        lines.append(f"{a:<12}" + "".join(f"{v:>8.2f}" for v in vals))
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""ASCII chart rendering for figure-shaped benchmark outputs.
+
+The paper's evaluation is figures; the bench harness reports ASCII tables.
+This module closes the gap with terminal-friendly plots: unicode
+sparklines for single series, block-character bar charts, and a multi-line
+XY plot used for speedup curves and performance profiles.
+
+Pure presentation code -- no benchmark imports this at run time; it is part
+of the reporting toolkit (`repro.bench`) for interactive exploration of
+the result files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a one-line unicode sparkline."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _TICKS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_TICKS) - 1))
+        out.append(_TICKS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with labels and values."""
+    if not items:
+        return "(empty)"
+    peak = max(v for _, v in items)
+    label_w = max(len(name) for name, _ in items)
+    lines = []
+    for name, v in items:
+        bar = "█" * max(1 if v > 0 else 0, int(width * v / peak) if peak else 0)
+        lines.append(f"{name:<{label_w}}  {v:>10.2f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def xy_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Multi-series XY scatter/line plot in a character grid.
+
+    Each series is ``name -> (xs, ys)``; the first letter of the name marks
+    its points.  Axes are annotated with min/max.  Good enough to eyeball a
+    speedup curve or a performance profile in a terminal.
+    """
+    pts = [
+        (float(x), float(y), name[0] if name else "*")
+        for name, (xs, ys) in series.items()
+        for x, y in zip(xs, ys)
+    ]
+    if not pts:
+        return "(empty)"
+    xlo = min(p[0] for p in pts)
+    xhi = max(p[0] for p in pts)
+    ylo = min(p[1] for p in pts)
+    yhi = max(p[1] for p in pts)
+    xspan = (xhi - xlo) or 1.0
+    yspan = (yhi - ylo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, mark in pts:
+        col = int((x - xlo) / xspan * (width - 1))
+        row = height - 1 - int((y - ylo) / yspan * (height - 1))
+        grid[row][col] = mark
+    lines = []
+    for i, row in enumerate(grid):
+        label = f"{yhi:8.2f} |" if i == 0 else (
+            f"{ylo:8.2f} |" if i == height - 1 else " " * 9 + "|"
+        )
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{xlo:<10.2f}" + " " * max(0, width - 20) + f"{xhi:>10.2f}"
+    )
+    legend = "  ".join(f"{name[0]}={name}" for name in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

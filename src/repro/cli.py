@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the original KaMinPar/TeraPart binaries are driven:
+
+* ``partition``  -- partition a graph file (binary or METIS format) into k
+  blocks and write the block assignment.
+* ``compress``   -- convert a binary graph to the compressed representation
+  and report ratios (gap-only vs gap+interval).
+* ``generate``   -- synthesize a benchmark graph to a file.
+* ``stats``      -- print n / m / degree / locality statistics.
+
+Examples::
+
+    python -m repro generate --family rgg2d --n 10000 --out g.bin
+    python -m repro partition g.bin -k 16 --preset terapart --out g.part16
+    python -m repro compress g.bin
+    python -m repro stats g.bin
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core import config as C
+from repro.graph import generators
+from repro.graph.compressed import compress_graph
+from repro.graph.io import read_binary, read_metis, stream_compressed, write_binary
+from repro.graph.stats import compute_stats
+
+
+def _load_graph(path: str, *, compressed: bool = False):
+    p = Path(path)
+    if p.suffix in (".metis", ".graph", ".txt"):
+        if compressed:
+            return compress_graph(read_metis(p))
+        return read_metis(p)
+    if compressed:
+        return stream_compressed(p)
+    return read_binary(p)
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, compressed=args.stream_compress)
+    cfg = C.preset(args.preset, seed=args.seed, p=args.threads, epsilon=args.epsilon)
+    t0 = time.perf_counter()
+    if args.seeds > 1:
+        from repro.core.portfolio import partition_portfolio
+
+        pr = partition_portfolio(
+            graph, args.k, cfg, seeds=range(args.seed, args.seed + args.seeds)
+        )
+        result = pr.best
+        print(
+            f"portfolio:  best of {args.seeds} seeds "
+            f"(mean cut {pr.mean_cut:.0f}, std {pr.cut_std:.0f})"
+        )
+    else:
+        result = repro.partition(graph, args.k, cfg)
+    elapsed = time.perf_counter() - t0
+    out = args.out or f"{args.graph}.part{args.k}"
+    np.savetxt(out, result.partition, fmt="%d")
+    print(f"cut:        {result.cut} ({result.cut_fraction:.3%})")
+    print(f"imbalance:  {result.imbalance:.4f} (balanced: {result.balanced})")
+    print(f"peak bytes: {result.peak_bytes}")
+    print(f"time:       {elapsed:.2f}s wall")
+    print(f"partition:  {out}")
+    if args.metrics:
+        from repro.core.metrics import compute_metrics
+
+        print("metrics:    " + compute_metrics(result.pgraph).row())
+    return 0
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    full = compress_graph(graph)
+    gap = compress_graph(graph, enable_intervals=False)
+    print(f"n={graph.n} m={graph.m}")
+    print(f"CSR bytes:          {graph.nbytes}")
+    print(f"compressed bytes:   {full.nbytes} (ratio {full.stats.ratio:.2f}x)")
+    print(f"gap-only bytes:     {gap.nbytes} (ratio {gap.stats.ratio:.2f}x)")
+    print(f"intervals:          {full.stats.num_intervals}")
+    print(f"chunked vertices:   {full.stats.num_chunked_vertices}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    kwargs = {"n": args.n, "seed": args.seed}
+    if args.family in ("rgg2d", "rhg", "weblike", "er"):
+        kwargs["avg_degree"] = args.degree
+    if args.family == "kmer":
+        kwargs["degree"] = int(args.degree)
+    if args.family == "ba":
+        kwargs["m_attach"] = max(1, int(args.degree // 2))
+    graph = generators.generate(args.family, **kwargs)
+    write_binary(graph, args.out)
+    print(f"wrote {args.out}: n={graph.n} m={graph.m}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    st = compute_stats(graph)
+    print(st.row())
+    print(f"mean log2 gap: {st.mean_log2_gap:.2f}")
+    print(f"interval edge fraction: {st.interval_edge_fraction:.1%}")
+    print(f"isolated vertices: {st.isolated_vertices}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a graph file")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument("--preset", default="terapart", choices=sorted(C.PRESETS))
+    p.add_argument("--epsilon", type=float, default=0.03)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="portfolio size: run this many seeds, keep the best",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also report communication volume / connectivity metrics",
+    )
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--out")
+    p.add_argument(
+        "--stream-compress",
+        action="store_true",
+        help="stream the file directly into compressed memory",
+    )
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("compress", help="report compression ratios")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("generate", help="generate a synthetic graph")
+    p.add_argument("--family", required=True, choices=sorted(generators.GENERATORS))
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--degree", type=float, default=8.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("stats", help="print graph statistics")
+    p.add_argument("graph")
+    p.set_defaults(func=cmd_stats)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""TeraPart core: the multilevel partitioner with the paper's optimizations.
+
+Public entry point is :func:`repro.core.partitioner.partition` (re-exported
+at package root as :func:`repro.partition`), driven by a
+:class:`PartitionerConfig`.  Config presets reproduce the algorithm variants
+measured in the paper:
+
+* ``kaminpar()``          -- the baseline: classic label propagation with
+  per-thread rating maps, buffered contraction, no compression.
+* ``kaminpar_2lp()``      -- + two-phase label propagation (Fig. 4 step i)
+* ``kaminpar_2lp_c()``    -- + graph compression        (Fig. 4 step ii)
+* ``terapart()``          -- + one-pass contraction     (Fig. 4 step iii)
+* ``terapart_fm()``       -- TeraPart + FM refinement with sparse gain table
+* ``terapart_fm_full()``  -- FM with the standard O(nk) gain table
+* ``terapart_fm_none()``  -- FM recomputing gains from scratch
+"""
+
+from repro.core.config import CoarseningConfig, FMConfig, GainTableKind, PartitionerConfig
+from repro.core.metrics import PartitionMetrics, compute_metrics
+from repro.core.partition import PartitionedGraph
+from repro.core.partitioner import PartitionResult, partition
+from repro.core.portfolio import PortfolioResult, partition_portfolio
+
+__all__ = [
+    "CoarseningConfig",
+    "FMConfig",
+    "GainTableKind",
+    "PartitionerConfig",
+    "PartitionMetrics",
+    "compute_metrics",
+    "PartitionedGraph",
+    "PartitionResult",
+    "PortfolioResult",
+    "partition",
+    "partition_portfolio",
+]

@@ -1,0 +1,18 @@
+"""Coarsening stage (Section IV): clustering + contraction."""
+
+from repro.core.coarsening.coarsener import CoarseLevel, coarsen_hierarchy
+from repro.core.coarsening.lp_clustering import (
+    ClusteringResult,
+    label_propagation_clustering,
+)
+from repro.core.coarsening.contraction import contract_buffered
+from repro.core.coarsening.one_pass_contraction import contract_one_pass
+
+__all__ = [
+    "CoarseLevel",
+    "coarsen_hierarchy",
+    "ClusteringResult",
+    "label_propagation_clustering",
+    "contract_buffered",
+    "contract_one_pass",
+]

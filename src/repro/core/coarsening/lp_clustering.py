@@ -1,0 +1,218 @@
+"""Label propagation clustering: classic (Algorithm 1) and two-phase
+(Algorithm 2).
+
+Both variants make *identical clustering decisions* -- the paper verifies
+that two-phase LP does not change solution quality (Fig. 4 right; average
+cuts within 0.03%).  What differs is the auxiliary memory and the load
+balance:
+
+* classic: every virtual thread owns a full ``n``-entry sparse-array rating
+  map (plus its non-zero list) -> ``O(n*p)`` bytes, and a single high-degree
+  vertex serializes on one thread (the paper's load-balance bottleneck).
+* two-phase: threads use fixed-capacity hash tables; vertices whose
+  neighborhood touches ``>= T_bump`` distinct clusters are *bumped* and
+  processed in a second phase with **one** shared sparse array and
+  parallelism over edges -> ``O(n + p*T_bump)`` bytes.
+
+The decision kernel itself is vectorized per chunk (see
+:mod:`repro.graph.access`); the variant determines what gets charged to the
+memory ledger and how work is attributed to the cost model.  The rating-map
+classes in :mod:`repro.core.coarsening.rating_map` implement the real
+structures and are unit-tested for equivalence with the vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.context import PartitionContext
+from repro.graph.access import chunk_adjacency, segment_reduce_ratings, traversal_cost
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one clustering pass over a level's graph."""
+
+    clusters: np.ndarray  # cluster leader ID per vertex (values in [0, n))
+    cluster_weights: np.ndarray  # weight per leader ID (size n, sparse)
+    num_clusters: int
+    moves_per_round: list[int] = field(default_factory=list)
+    bumped_per_round: list[int] = field(default_factory=list)
+    favorites: np.ndarray | None = None  # best neighbor cluster (for two-hop)
+
+
+def _charge_rating_maps(
+    graph, ctx: PartitionContext, two_phase: bool, t_bump: int
+) -> list[int]:
+    """Register the clustering working set with the ledger; return handles."""
+    tracker = ctx.tracker
+    p = ctx.runtime.p
+    n = graph.n
+    cc = ctx.config.coarsening
+    handles = [tracker.alloc("cluster-array", 8 * n, "clustering")]
+    handles.append(tracker.alloc("cluster-weights", 8 * n, "clustering"))
+    if two_phase:
+        cap = cc.first_phase_table_capacity or t_bump
+        # per-thread fixed-capacity hash tables (keys+values, pow2-padded)
+        table_bytes = 16 * (1 << max(1, (2 * cap - 1).bit_length()))
+        handles.append(
+            tracker.alloc("first-phase-hash-tables", p * table_bytes, "clustering")
+        )
+        # one shared sparse array + per-thread non-zero buffers
+        handles.append(tracker.alloc("shared-sparse-array", 8 * n, "clustering"))
+        handles.append(
+            tracker.alloc("nonzero-buffers", p * 8 * cap, "clustering")
+        )
+    else:
+        # one sparse array (values) + non-zero list per thread
+        handles.append(
+            tracker.alloc("thread-rating-maps", p * 16 * n, "clustering")
+        )
+    return handles
+
+
+def label_propagation_clustering(
+    graph,
+    ctx: PartitionContext,
+    max_cluster_weight: int,
+) -> ClusteringResult:
+    """Run ``lp_rounds`` of size-constrained label propagation."""
+    n = graph.n
+    cc = ctx.config.coarsening
+    two_phase = cc.two_phase_lp
+    runtime = ctx.runtime
+    rng = ctx.rng
+    vwgt = np.asarray(graph.vwgt)
+
+    clusters = np.arange(n, dtype=np.int64)
+    cluster_weights = vwgt.astype(np.int64).copy()
+    favorites = np.arange(n, dtype=np.int64)
+
+    t_bump = ctx.effective_t_bump(n)
+    edge_bytes, work_factor = traversal_cost(graph)
+    max_degree = graph.max_degree if not two_phase else 0
+    handles = _charge_rating_maps(graph, ctx, two_phase, t_bump)
+    phase_name = "clustering-2p" if two_phase else "clustering-classic"
+    result = ClusteringResult(
+        clusters, cluster_weights, n, favorites=favorites
+    )
+    active = np.ones(n, dtype=bool)
+    try:
+        for _round in range(cc.lp_rounds):
+            if cc.active_set and _round > 0:
+                candidates = np.flatnonzero(active)
+                if len(candidates) == 0:
+                    break
+                order = candidates[rng.permutation(len(candidates))]
+            else:
+                order = rng.permutation(n).astype(np.int64)
+            if cc.active_set:
+                active[:] = False
+            moves = 0
+            bumped_total = 0
+            for _tid, chunk in runtime.schedule(order):
+                owner, nbrs, wgts = chunk_adjacency(graph, chunk)
+                if len(owner) == 0:
+                    continue
+                pair_owner, pair_cluster, pair_rating = segment_reduce_ratings(
+                    owner, clusters[nbrs], wgts, n
+                )
+                # nc(u): distinct neighbor clusters per chunk vertex
+                nc = np.bincount(pair_owner, minlength=len(chunk))
+                bumped_mask = nc >= t_bump
+                bumped_total += int(bumped_mask.sum())
+                # second-phase atomics: only bumped vertices' rating flushes
+                # hit the shared sparse array
+                bumped_pairs = int(nc[bumped_mask].sum()) if two_phase else 0
+
+                # record favorites (unconstrained best) for two-hop matching
+                # and pick constrained targets
+                chunk_vw = vwgt[chunk]
+                u_of_pair = chunk[pair_owner]
+                fits = (
+                    cluster_weights[pair_cluster] + chunk_vw[pair_owner]
+                    <= max_cluster_weight
+                )
+                is_current = pair_cluster == clusters[u_of_pair]
+                # rank: rating first, keep-bonus on ties, then a seeded
+                # pseudo-random jitter -- LP must break remaining ties
+                # randomly or mesh clusters snake toward extreme IDs
+                jitter = (
+                    ((pair_cluster * 0x9E3779B1) ^ (u_of_pair * 0x85EBCA6B)) >> 7
+                ) & 0x3F
+                rank = ((2 * pair_rating + is_current) << 6) | jitter
+
+                # unconstrained favorite per owner
+                ordu = np.lexsort((rank, pair_owner))
+                last = np.empty(len(ordu), dtype=bool)
+                last[-1] = True
+                last[:-1] = pair_owner[ordu][1:] != pair_owner[ordu][:-1]
+                fav_pairs = ordu[last]
+                favorites[chunk[pair_owner[fav_pairs]]] = pair_cluster[fav_pairs]
+
+                # constrained best per owner
+                ok = fits | is_current
+                if not np.any(ok):
+                    continue
+                po, pc, rk = pair_owner[ok], pair_cluster[ok], rank[ok]
+                ordc = np.lexsort((rk, po))
+                lastc = np.empty(len(ordc), dtype=bool)
+                lastc[-1] = True
+                lastc[:-1] = po[ordc][1:] != po[ordc][:-1]
+                best = ordc[lastc]
+                best_owner = po[best]
+                best_cluster = pc[best]
+
+                # commit sequentially (atomic weight updates in the paper);
+                # re-check the cap because earlier commits in this chunk may
+                # have filled the target cluster
+                us = chunk[best_owner]
+                cur = clusters[us]
+                want_move = best_cluster != cur
+                runtime.record(
+                    phase_name,
+                    work=float(len(owner)) * work_factor,
+                    bytes_moved=edge_bytes * len(owner),
+                    atomic_ops=bumped_pairs,
+                )
+                for u, c in zip(
+                    us[want_move].tolist(), best_cluster[want_move].tolist()
+                ):
+                    w = int(vwgt[u])
+                    if cluster_weights[c] + w > max_cluster_weight:
+                        continue
+                    cluster_weights[clusters[u]] -= w
+                    cluster_weights[c] += w
+                    clusters[u] = c
+                    moves += 1
+                    if cc.active_set:
+                        # a move invalidates the cached decision of u and
+                        # of every neighbor of u
+                        active[u] = True
+                        active[graph.neighbors(u)] = True
+            # straggler span for classic LP: the largest neighborhood is
+            # scanned by a single thread (two-phase parallelizes it)
+            if not two_phase:
+                runtime.record(
+                    phase_name, work=0.0, span=float(max_degree), sequential=False
+                )
+            result.moves_per_round.append(moves)
+            result.bumped_per_round.append(bumped_total)
+            if moves == 0:
+                break
+    finally:
+        for h in handles:
+            ctx.tracker.free(h)
+
+    leaders = np.unique(clusters)
+    result.num_clusters = int(len(leaders))
+    return result
+
+
+def cluster_sizes(clusters: np.ndarray) -> np.ndarray:
+    """Number of member vertices per leader ID (size n, sparse)."""
+    sizes = np.zeros(len(clusters), dtype=np.int64)
+    np.add.at(sizes, clusters, 1)
+    return sizes

@@ -1,0 +1,164 @@
+"""One-pass cluster contraction (Section IV-B2).
+
+Builds the coarse CSR *directly*, without a second buffered copy:
+
+1. The coarse edge array ``E'`` is reserved with ``2m`` entries via memory
+   overcommitment (only touched entries are charged).
+2. Coarse vertices (clusters) are processed in parallel chunks.  A chunk's
+   coarse neighborhoods are aggregated (two-phase, as in clustering), then
+   the shared dual counter ``(d, s)`` is advanced **once per chunk** with a
+   double-width CAS: ``d`` by the number of coarse edges, ``s`` by the number
+   of coarse vertices -- the paper's buffering trick ``B_t`` that reduces CAS
+   contention.
+3. The pre-increment values ``(d_prev, s_prev)`` give both the write position
+   in ``E'`` and the *new* coarse vertex IDs, so neighborhoods of consecutive
+   coarse IDs are consecutive in ``E'`` without shuffling; endpoints are
+   remapped from old cluster IDs to new IDs at the end.
+
+Because chunk completion order in a real parallel run is nondeterministic,
+the resulting coarse vertex numbering is a permutation of the buffered
+scheme's numbering.  We process chunks in a seeded shuffled order to exhibit
+exactly that behaviour; tests verify isomorphism against buffered output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import PartitionContext
+from repro.core.coarsening.contraction import ContractionOutput
+from repro.graph.access import chunk_adjacency, segment_reduce_ratings, traversal_cost
+from repro.graph.csr import CSRGraph
+from repro.parallel.atomics import DualCounter
+
+
+def contract_one_pass(
+    graph,
+    clusters: np.ndarray,
+    cluster_weights: np.ndarray,
+    ctx: PartitionContext,
+) -> ContractionOutput:
+    """Contract ``clusters`` with the one-pass dual-counter scheme."""
+    tracker = ctx.tracker
+    runtime = ctx.runtime
+    cc = ctx.config.coarsening
+    n = graph.n
+    m2 = graph.num_directed_edges
+
+    # leaders and member lists: vertices sorted by their cluster leader
+    leaders = np.unique(clusters)
+    n_coarse = len(leaders)
+    member_order = np.argsort(clusters, kind="stable")
+    member_clusters = clusters[member_order]
+    member_starts = np.searchsorted(member_clusters, leaders)
+    member_ends = np.append(member_starts[1:], n)
+
+    # working-set accounting: per-thread hash tables + chunk buffers B_t,
+    # the overcommitted E' (ids + weights), P', and the remap array
+    t_bump = ctx.effective_t_bump(n)
+    edge_bytes, work_factor = traversal_cost(graph)
+    cap = cc.first_phase_table_capacity or t_bump
+    table_bytes = 16 * (1 << max(1, (2 * cap - 1).bit_length()))
+    aux_aid = tracker.alloc(
+        "one-pass-aux",
+        runtime.p * (table_bytes + 16 * ctx.effective_buffer_capacity(n)) + 8 * n,
+        "contraction",
+    )
+    eprime_aid = tracker.alloc(
+        "coarse-edge-array", 16 * m2, "graph", overcommit=True
+    )
+    pprime_aid = tracker.alloc("coarse-indptr", 8 * (n_coarse + 1), "graph")
+
+    dual = DualCounter()
+    eprime_dst = np.empty(m2, dtype=np.int64)  # old cluster IDs, remapped later
+    eprime_w = np.empty(m2, dtype=np.int64)
+    pprime = np.zeros(n_coarse + 1, dtype=np.int64)
+    new_id_of_leader = np.full(n, -1, dtype=np.int64)
+    new_vwgt = np.empty(n_coarse, dtype=np.int64)
+    bumped = 0
+
+    # Chunk completion order in a real parallel run is nondeterministic but
+    # only *locally* so: with p threads pulling chunks in issue order, a
+    # chunk finishes within ~p positions of its index.  Model that with a
+    # bounded perturbation (a full shuffle would destroy the vertex-ID
+    # locality real runs retain, measurably hurting downstream quality).
+    sched = runtime.schedule(np.arange(n_coarse, dtype=np.int64))
+    jitter = ctx.rng.uniform(0.0, 2.0 * runtime.p, size=sched.num_chunks)
+    chunk_order = np.argsort(np.arange(sched.num_chunks) + jitter)
+    for ci in chunk_order.tolist():
+        leader_idx = sched.chunks[ci]  # indices into `leaders`
+        chunk_leaders = leaders[leader_idx]
+        # flatten all member vertices of this chunk's clusters
+        counts = member_ends[leader_idx] - member_starts[leader_idx]
+        total_members = int(counts.sum())
+        if total_members:
+            gather = np.repeat(
+                member_starts[leader_idx], counts
+            ) + (
+                np.arange(total_members, dtype=np.int64)
+                - np.repeat(np.cumsum(counts) - counts, counts)
+            )
+            members = member_order[gather]
+            member_owner = np.repeat(
+                np.arange(len(leader_idx), dtype=np.int64), counts
+            )
+        else:
+            members = np.empty(0, dtype=np.int64)
+            member_owner = np.empty(0, dtype=np.int64)
+
+        owner_m, nbrs, wgts = chunk_adjacency(graph, members)
+        if len(owner_m):
+            owner = member_owner[owner_m]  # chunk-local coarse vertex index
+            target = clusters[nbrs]
+            po, pc, pw = segment_reduce_ratings(owner, target, wgts, n)
+            keep = pc != chunk_leaders[po]  # drop intra-cluster edges
+            po, pc, pw = po[keep], pc[keep], pw[keep]
+        else:
+            po = pc = pw = np.empty(0, dtype=np.int64)
+
+        nc = np.bincount(po, minlength=len(leader_idx))
+        bumped += int(np.sum(nc >= t_bump))
+
+        # dual-counter transaction for the whole chunk (buffered CAS)
+        d_prev, s_prev = dual.fetch_add(len(po), len(leader_idx))
+
+        # neighborhoods are already grouped by owner (segment reduce sorts
+        # by (owner, cluster)); place them at E'[d_prev:]
+        eprime_dst[d_prev : d_prev + len(po)] = pc
+        eprime_w[d_prev : d_prev + len(po)] = pw
+        local_offsets = np.searchsorted(po, np.arange(len(leader_idx)))
+        pprime[s_prev : s_prev + len(leader_idx)] = d_prev + local_offsets
+        new_ids = s_prev + np.arange(len(leader_idx), dtype=np.int64)
+        new_id_of_leader[chunk_leaders] = new_ids
+        new_vwgt[new_ids] = cluster_weights[chunk_leaders]
+
+        tracker.touch(eprime_aid, 16 * dual.d)
+        runtime.record(
+            "contraction",
+            work=float(len(owner_m)) * work_factor + float(len(po)),
+            bytes_moved=edge_bytes * len(owner_m) + 16.0 * len(po),
+            atomic_ops=1,
+        )
+
+    m2_coarse = dual.d
+    assert dual.s == n_coarse
+    pprime[n_coarse] = m2_coarse
+
+    # remap endpoints from old cluster IDs to new coarse IDs (Fig. 3, bottom)
+    adjncy = new_id_of_leader[eprime_dst[:m2_coarse]]
+    adjwgt = eprime_w[:m2_coarse]
+    unit = bool(m2_coarse == 0 or np.all(adjwgt == 1))
+    coarse = CSRGraph(
+        pprime,
+        adjncy,
+        None if unit else adjwgt.copy(),
+        new_vwgt,
+        sorted_neighborhoods=False,
+    )
+    fine_to_coarse = new_id_of_leader[clusters]
+
+    tracker.free(aux_aid)
+    tracker.free(eprime_aid)
+    tracker.free(pprime_aid)
+    graph_aid = tracker.alloc("coarse-graph", coarse.nbytes, "graph")
+    return ContractionOutput(coarse, fine_to_coarse, graph_aid, bumped_clusters=bumped)

@@ -1,0 +1,184 @@
+"""Partitioner configuration and the paper's algorithm-variant presets."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class GainTableKind(enum.Enum):
+    """FM gain-cache strategies compared in Figure 7."""
+
+    NONE = "none"  # recompute gains from scratch at every inspection
+    FULL = "full"  # standard O(n*k) table
+    SPARSE = "sparse"  # the paper's O(m) table (Section V)
+
+
+@dataclass(frozen=True)
+class CoarseningConfig:
+    """Knobs of the coarsening stage (Section IV)."""
+
+    two_phase_lp: bool = True  # Algorithm 2 vs Algorithm 1
+    one_pass_contraction: bool = True  # Section IV-B2 vs buffered
+    lp_rounds: int = 5  # paper: five rounds per level
+    # bump threshold T_bump; paper default is 10 000 on billion-edge graphs.
+    # 0 = auto-scale: clamp(n / (8 p), 128, 10 000), preserving the paper's
+    # regime p*T_bump << n at benchmark scale.
+    t_bump: int = 0
+    first_phase_table_capacity: int = 0  # 0 = derive from t_bump
+    contraction_limit_factor: int = 32  # coarsen until n <= factor * k
+    min_shrink_factor: float = 1.05  # below this, two-hop matching kicks in
+    max_levels: int = 64
+    two_hop_matching: bool = True
+    # active-set optimization: after round 1, revisit only vertices whose
+    # neighborhood changed (KaMinPar's standard work-saving device).  Off by
+    # default so benches measure the paper's fixed five-round scheme.
+    active_set: bool = False
+    # dual-counter batching buffer B_t (entries per thread);
+    # 0 = auto-scale: clamp(n / (8 p), 32, 4096)
+    buffer_capacity: int = 0
+
+
+@dataclass(frozen=True)
+class FMConfig:
+    """Knobs of k-way FM refinement (Section V)."""
+
+    gain_table: GainTableKind = GainTableKind.SPARSE
+    max_rounds: int = 3
+    # adaptive stopping: abort a pass after this many consecutive
+    # non-improving moves (classic FM stopping rule)
+    max_fruitless_moves: int = 250
+    # seed localized searches only from boundary vertices
+    boundary_only: bool = True
+    # localized multi-search FM ([4],[15]) instead of one global search
+    localized: bool = False
+    # per-search move cap for localized FM
+    max_region: int = 64
+
+
+@dataclass(frozen=True)
+class InitialPartitioningConfig:
+    """Portfolio of randomized greedy-graph-growing bipartitioners + 2-way FM."""
+
+    attempts: int = 8  # portfolio size per bisection
+    fm_rounds: int = 2
+    # "recursive": classic recursive bisection to k on the coarsest graph.
+    # "deep": KaMinPar's deep multilevel [3] -- coarsen to constant size,
+    # bisect blocks progressively during uncoarsening.
+    scheme: str = "recursive"
+
+
+@dataclass(frozen=True)
+class PartitionerConfig:
+    """Full configuration of one partitioner variant."""
+
+    name: str = "terapart"
+    epsilon: float = 0.03
+    seed: int = 0
+    p: int = 8  # virtual threads
+    compress_input: bool = True
+    compression_intervals: bool = True
+    coarsening: CoarseningConfig = field(default_factory=CoarseningConfig)
+    initial: InitialPartitioningConfig = field(
+        default_factory=InitialPartitioningConfig
+    )
+    use_fm: bool = False
+    fm: FMConfig = field(default_factory=FMConfig)
+    lp_refinement_rounds: int = 3
+
+    def with_(self, **kwargs) -> "PartitionerConfig":
+        return replace(self, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# presets: the variant ladder of Figure 4 / Figure 7
+# --------------------------------------------------------------------- #
+def kaminpar(**overrides) -> PartitionerConfig:
+    """The unoptimized baseline: classic LP, buffered contraction, raw CSR."""
+    cfg = PartitionerConfig(
+        name="kaminpar",
+        compress_input=False,
+        coarsening=CoarseningConfig(two_phase_lp=False, one_pass_contraction=False),
+    )
+    return cfg.with_(**overrides)
+
+
+def kaminpar_2lp(**overrides) -> PartitionerConfig:
+    """Baseline + two-phase label propagation (Fig. 4, optimization i)."""
+    cfg = PartitionerConfig(
+        name="kaminpar+2lp",
+        compress_input=False,
+        coarsening=CoarseningConfig(two_phase_lp=True, one_pass_contraction=False),
+    )
+    return cfg.with_(**overrides)
+
+
+def kaminpar_2lp_compress(**overrides) -> PartitionerConfig:
+    """+ graph compression (Fig. 4, optimization ii)."""
+    cfg = PartitionerConfig(
+        name="kaminpar+2lp+compress",
+        compress_input=True,
+        coarsening=CoarseningConfig(two_phase_lp=True, one_pass_contraction=False),
+    )
+    return cfg.with_(**overrides)
+
+
+def terapart(**overrides) -> PartitionerConfig:
+    """All three optimizations: the TeraPart configuration (LP refinement)."""
+    cfg = PartitionerConfig(
+        name="terapart",
+        compress_input=True,
+        coarsening=CoarseningConfig(two_phase_lp=True, one_pass_contraction=True),
+    )
+    return cfg.with_(**overrides)
+
+
+def terapart_fm(**overrides) -> PartitionerConfig:
+    """TeraPart-FM: + k-way FM refinement with the sparse gain table."""
+    cfg = terapart().with_(
+        name="terapart-fm", use_fm=True, fm=FMConfig(gain_table=GainTableKind.SPARSE)
+    )
+    return cfg.with_(**overrides)
+
+
+def terapart_fm_full_table(**overrides) -> PartitionerConfig:
+    """FM with the standard O(nk) gain table (Fig. 7 'Full Table')."""
+    cfg = terapart().with_(
+        name="terapart-fm-full", use_fm=True, fm=FMConfig(gain_table=GainTableKind.FULL)
+    )
+    return cfg.with_(**overrides)
+
+
+def terapart_fm_no_table(**overrides) -> PartitionerConfig:
+    """FM recomputing gains from scratch (Fig. 7 'No Table')."""
+    cfg = terapart().with_(
+        name="terapart-fm-none", use_fm=True, fm=FMConfig(gain_table=GainTableKind.NONE)
+    )
+    return cfg.with_(**overrides)
+
+
+def terapart_deep(**overrides) -> PartitionerConfig:
+    """TeraPart with the deep multilevel scheme [3] (KaMinPar's default)."""
+    cfg = terapart().with_(
+        name="terapart-deep",
+        initial=InitialPartitioningConfig(scheme="deep", attempts=4, fm_rounds=1),
+    )
+    return cfg.with_(**overrides)
+
+
+PRESETS = {
+    "kaminpar": kaminpar,
+    "kaminpar+2lp": kaminpar_2lp,
+    "kaminpar+2lp+compress": kaminpar_2lp_compress,
+    "terapart": terapart,
+    "terapart-fm": terapart_fm,
+    "terapart-fm-full": terapart_fm_full_table,
+    "terapart-fm-none": terapart_fm_no_table,
+    "terapart-deep": terapart_deep,
+}
+
+
+def preset(name: str, **overrides) -> PartitionerConfig:
+    if name not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; know {sorted(PRESETS)}")
+    return PRESETS[name](**overrides)

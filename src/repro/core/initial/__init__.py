@@ -1,0 +1,16 @@
+"""Initial partitioning on the coarsest graph.
+
+KaMinPar's scheme (Section II-B): a portfolio of randomized sequential
+greedy graph growing bipartitioners improved by 2-way FM, applied through
+recursive bisection to obtain the k-way partition.
+"""
+
+from repro.core.initial.bipartition import greedy_graph_growing_bipartition
+from repro.core.initial.fm2way import fm2way_refine
+from repro.core.initial.recursive import initial_partition
+
+__all__ = [
+    "greedy_graph_growing_bipartition",
+    "fm2way_refine",
+    "initial_partition",
+]

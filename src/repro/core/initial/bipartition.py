@@ -1,0 +1,124 @@
+"""Greedy graph growing bipartitioning.
+
+Grows block 0 from a random seed vertex by repeatedly absorbing the frontier
+vertex with the highest gain (weight of edges into the grown block minus
+weight of edges to the outside), until the block reaches its target weight.
+Classic GGG as used by KaMinPar's initial-partitioning portfolio.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+def greedy_graph_growing_bipartition(
+    graph,
+    target_weight0: int,
+    max_weight0: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Return a 0/1 block assignment with ``w(V_0)`` close to the target.
+
+    ``target_weight0`` steers growth; ``max_weight0`` is the hard cap (the
+    bisection-adjusted balance constraint).
+    """
+    n = graph.n
+    vwgt = np.asarray(graph.vwgt)
+    part = np.ones(n, dtype=np.int32)
+    if n == 0:
+        return part
+    in_block = np.zeros(n, dtype=bool)
+    # a vertex that once exceeded the cap can never fit later (the block
+    # only grows), so block it permanently to guarantee termination
+    blocked = np.zeros(n, dtype=bool)
+    gain = np.zeros(n, dtype=np.int64)
+    heap: list[tuple[int, int, int]] = []
+    counter = 0
+    weight0 = 0
+
+    unassigned = rng.permutation(n)
+    up = 0
+
+    while weight0 < target_weight0:
+        if not heap:
+            # (re)start from a fresh random seed (handles disconnected graphs)
+            while up < n and (in_block[unassigned[up]] or blocked[unassigned[up]]):
+                up += 1
+            if up >= n:
+                break
+            seed = int(unassigned[up])
+            heapq.heappush(heap, (0, counter, seed))
+            counter += 1
+        neg_gain, _, u = heapq.heappop(heap)
+        if in_block[u] or blocked[u]:
+            continue
+        if gain[u] != -neg_gain:
+            # stale entry; reinsert with the current gain
+            heapq.heappush(heap, (-int(gain[u]), counter, u))
+            counter += 1
+            continue
+        w = int(vwgt[u])
+        if weight0 + w > max_weight0:
+            blocked[u] = True
+            continue
+        in_block[u] = True
+        part[u] = 0
+        weight0 += w
+        nbrs, wgts = graph.neighbors_and_weights(u)
+        for v, ew in zip(np.asarray(nbrs).tolist(), np.asarray(wgts).tolist()):
+            if in_block[v]:
+                continue
+            gain[v] += 2 * ew  # edge flips from cut to internal
+            heapq.heappush(heap, (-int(gain[v]), counter, v))
+            counter += 1
+    return part
+
+
+def random_bipartition(
+    graph, target_weight0: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random balanced assignment (portfolio diversity / fallback)."""
+    n = graph.n
+    vwgt = np.asarray(graph.vwgt)
+    part = np.ones(n, dtype=np.int32)
+    weight0 = 0
+    for u in rng.permutation(n).tolist():
+        if weight0 >= target_weight0:
+            break
+        part[u] = 0
+        weight0 += int(vwgt[u])
+    return part
+
+
+def bfs_bipartition(
+    graph, target_weight0: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Plain BFS growth (portfolio diversity)."""
+    from collections import deque
+
+    n = graph.n
+    vwgt = np.asarray(graph.vwgt)
+    part = np.ones(n, dtype=np.int32)
+    visited = np.zeros(n, dtype=bool)
+    weight0 = 0
+    order = rng.permutation(n)
+    oi = 0
+    q: deque[int] = deque()
+    while weight0 < target_weight0:
+        if not q:
+            while oi < n and visited[order[oi]]:
+                oi += 1
+            if oi >= n:
+                break
+            q.append(int(order[oi]))
+            visited[order[oi]] = True
+        u = q.popleft()
+        part[u] = 0
+        weight0 += int(vwgt[u])
+        for v in np.asarray(graph.neighbors(u)).tolist():
+            if not visited[v]:
+                visited[v] = True
+                q.append(v)
+    return part

@@ -1,0 +1,120 @@
+"""2-way FM local search (Fiduccia-Mattheyses [1]) with rollback.
+
+Used to polish bipartitions produced by greedy graph growing.  Single
+priority queue over *all* movable vertices ordered by gain; each pass moves
+vertices one at a time (locking them), tracks the best prefix seen, and
+rolls back the tail.  Balance is enforced against per-side ceilings.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+def _gains(graph, part: np.ndarray) -> np.ndarray:
+    """gain[u] = w(edges to other side) - w(edges to own side)."""
+    n = graph.n
+    gain = np.zeros(n, dtype=np.int64)
+    for u in range(n):
+        nbrs, wgts = graph.neighbors_and_weights(u)
+        if len(nbrs) == 0:
+            continue
+        same = part[np.asarray(nbrs)] == part[u]
+        w = np.asarray(wgts)
+        gain[u] = int(w[~same].sum() - w[same].sum())
+    return gain
+
+
+def cut2way(graph, part: np.ndarray) -> int:
+    total = 0
+    for u in range(graph.n):
+        nbrs, wgts = graph.neighbors_and_weights(u)
+        if len(nbrs) == 0:
+            continue
+        cross = part[np.asarray(nbrs)] != part[u]
+        total += int(np.asarray(wgts)[cross].sum())
+    return total // 2
+
+
+def fm2way_refine(
+    graph,
+    part: np.ndarray,
+    max_weights: tuple[int, int],
+    rounds: int = 2,
+    max_fruitless: int = 200,
+) -> np.ndarray:
+    """Improve a bipartition in place; returns the refined assignment."""
+    n = graph.n
+    vwgt = np.asarray(graph.vwgt)
+    side_weight = np.zeros(2, dtype=np.int64)
+    np.add.at(side_weight, part, vwgt)
+
+    for _ in range(rounds):
+        gain = _gains(graph, part)
+        locked = np.zeros(n, dtype=bool)
+        heap: list[tuple[int, int, int]] = []
+        counter = 0
+        for u in range(n):
+            heapq.heappush(heap, (-int(gain[u]), counter, u))
+            counter += 1
+
+        moves: list[int] = []
+        best_prefix = 0
+        balance_total = 0
+        best_total = 0
+        fruitless = 0
+
+        while heap and fruitless < max_fruitless:
+            neg_g, _, u = heapq.heappop(heap)
+            if locked[u]:
+                continue
+            if gain[u] != -neg_g:
+                heapq.heappush(heap, (-int(gain[u]), counter, u))
+                counter += 1
+                continue
+            src = int(part[u])
+            dst = 1 - src
+            w = int(vwgt[u])
+            if side_weight[dst] + w > max_weights[dst]:
+                locked[u] = True  # cannot move this pass
+                continue
+            # move
+            locked[u] = True
+            part[u] = dst
+            side_weight[src] -= w
+            side_weight[dst] += w
+            balance_total += int(gain[u])
+            moves.append(u)
+            if balance_total > best_total:
+                best_total = balance_total
+                best_prefix = len(moves)
+                fruitless = 0
+            else:
+                fruitless += 1
+            # update neighbor gains
+            nbrs, wgts = graph.neighbors_and_weights(u)
+            for v, ew in zip(
+                np.asarray(nbrs).tolist(), np.asarray(wgts).tolist()
+            ):
+                if locked[v]:
+                    continue
+                if part[v] == dst:
+                    gain[v] -= 2 * ew
+                else:
+                    gain[v] += 2 * ew
+                heapq.heappush(heap, (-int(gain[v]), counter, v))
+                counter += 1
+
+        # rollback the tail beyond the best prefix
+        for u in moves[best_prefix:]:
+            src = int(part[u])
+            dst = 1 - src
+            w = int(vwgt[u])
+            part[u] = dst
+            side_weight[src] -= w
+            side_weight[dst] += w
+        if best_total <= 0:
+            break
+    return part

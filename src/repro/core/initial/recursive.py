@@ -1,0 +1,130 @@
+"""Recursive bisection into k blocks on the coarsest graph.
+
+Each bisection splits the remaining block budget ``k`` into
+``k0 = ceil(k/2)`` / ``k1 = floor(k/2)`` with target weight proportional to
+the budget; the per-bisection imbalance allowance is relaxed to
+``(1+eps)^(1/ceil(log2 k)) - 1`` so the final k-way partition lands inside
+the global constraint (the standard recursive-bisection correction).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.initial.bipartition import (
+    bfs_bipartition,
+    greedy_graph_growing_bipartition,
+    random_bipartition,
+)
+from repro.core.initial.fm2way import cut2way, fm2way_refine
+from repro.graph.csr import CSRGraph
+
+
+def extract_subgraph(
+    graph, mask: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Induced subgraph on ``mask``; returns ``(subgraph, original_ids)``."""
+    ids = np.flatnonzero(mask)
+    local = np.full(graph.n, -1, dtype=np.int64)
+    local[ids] = np.arange(len(ids), dtype=np.int64)
+    if hasattr(graph, "indptr"):
+        src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+        keep = mask[src] & mask[graph.adjncy]
+        s, d = local[src[keep]], local[graph.adjncy[keep]]
+        w = np.asarray(graph.adjwgt)[keep]
+    else:
+        ss, ds, ws = [], [], []
+        for u in ids.tolist():
+            nbrs, wgts = graph.neighbors_and_weights(u)
+            keep = mask[np.asarray(nbrs)]
+            ss.append(np.full(int(keep.sum()), local[u], dtype=np.int64))
+            ds.append(local[np.asarray(nbrs)[keep]])
+            ws.append(np.asarray(wgts)[keep])
+        s = np.concatenate(ss) if ss else np.empty(0, dtype=np.int64)
+        d = np.concatenate(ds) if ds else np.empty(0, dtype=np.int64)
+        w = np.concatenate(ws) if ws else np.empty(0, dtype=np.int64)
+    nsub = len(ids)
+    order = np.lexsort((d, s))
+    s, d, w = s[order], d[order], w[order]
+    degrees = np.bincount(s, minlength=nsub).astype(np.int64)
+    indptr = np.zeros(nsub + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    unit = bool(len(w) == 0 or np.all(w == 1))
+    vwgt = np.asarray(graph.vwgt)[ids].copy()
+    sub = CSRGraph(indptr, d, None if unit else w, vwgt)
+    return sub, ids
+
+
+def bipartition_portfolio(
+    graph,
+    target_weight0: int,
+    max_weight0: int,
+    max_weight1: int,
+    rng: np.random.Generator,
+    attempts: int = 8,
+    fm_rounds: int = 2,
+) -> np.ndarray:
+    """Best-of-``attempts`` bipartition: GGG/BFS/random seeds + 2-way FM."""
+    best: np.ndarray | None = None
+    best_key: tuple[int, int] | None = None
+    total = graph.total_vertex_weight
+    for attempt in range(max(1, attempts)):
+        if attempt % 4 == 3:
+            part = random_bipartition(graph, target_weight0, rng)
+        elif attempt % 4 == 2:
+            part = bfs_bipartition(graph, target_weight0, rng)
+        else:
+            part = greedy_graph_growing_bipartition(
+                graph, target_weight0, max_weight0, rng
+            )
+        part = fm2way_refine(
+            graph, part, (max_weight0, max_weight1), rounds=fm_rounds
+        )
+        w0 = int(np.asarray(graph.vwgt)[part == 0].sum())
+        w1 = total - w0
+        infeasible = int(max(0, w0 - max_weight0) + max(0, w1 - max_weight1))
+        key = (infeasible, cut2way(graph, part))
+        if best_key is None or key < best_key:
+            best_key, best = key, part
+    assert best is not None
+    return best
+
+
+def initial_partition(
+    graph,
+    k: int,
+    epsilon: float,
+    rng: np.random.Generator,
+    attempts: int = 8,
+    fm_rounds: int = 2,
+) -> np.ndarray:
+    """k-way partition of (the coarsest) ``graph`` via recursive bisection."""
+    part = np.zeros(graph.n, dtype=np.int32)
+    if k <= 1:
+        return part
+    depth = max(1, math.ceil(math.log2(k)))
+    eps_b = (1.0 + epsilon) ** (1.0 / depth) - 1.0
+
+    def recurse(g, ids: np.ndarray, k_here: int, block_offset: int) -> None:
+        if k_here == 1:
+            part[ids] = block_offset
+            return
+        k0 = (k_here + 1) // 2
+        k1 = k_here - k0
+        total = g.total_vertex_weight
+        target0 = int(round(total * k0 / k_here))
+        max0 = max(target0, int((1.0 + eps_b) * total * k0 / k_here))
+        max1 = max(total - target0, int((1.0 + eps_b) * total * k1 / k_here))
+        bp = bipartition_portfolio(
+            g, target0, max0, max1, rng, attempts=attempts, fm_rounds=fm_rounds
+        )
+        left_mask = bp == 0
+        sub0, ids0 = extract_subgraph(g, left_mask)
+        sub1, ids1 = extract_subgraph(g, ~left_mask)
+        recurse(sub0, ids[ids0], k0, block_offset)
+        recurse(sub1, ids[ids1], k1, block_offset + k0)
+
+    recurse(graph, np.arange(graph.n, dtype=np.int64), k, 0)
+    return part

@@ -1,0 +1,233 @@
+"""The multilevel partitioning driver: coarsen -> initial -> uncoarsen+refine.
+
+This is the KaMinPar skeleton into which the paper's optimizations plug.
+The configured variant decides:
+
+* whether the input is compressed before partitioning (Section III),
+* classic vs two-phase label propagation clustering (Section IV-A),
+* buffered vs one-pass contraction (Section IV-B),
+* LP-only vs LP+FM refinement and the FM gain-table kind (Section V).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.coarsening.coarsener import coarsen_hierarchy
+from repro.core.config import PartitionerConfig, terapart
+from repro.core.context import PartitionContext
+from repro.core.initial.recursive import initial_partition
+from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.core.refinement.balancer import rebalance
+from repro.core.refinement.fm_localized import fm_refine_localized
+from repro.core.refinement.fm_refine import fm_refine
+from repro.core.refinement.lp_refine import lp_refine
+from repro.graph.compressed import compress_graph
+from repro.memory.report import MemoryReport
+from repro.memory.tracker import MemoryTracker
+from repro.parallel.cost_model import CostModel
+from repro.parallel.runtime import ParallelRuntime
+
+
+@dataclass
+class PartitionResult:
+    """Everything the benchmarks report about one partitioning run."""
+
+    pgraph: PartitionedGraph
+    cut: int
+    cut_fraction: float
+    imbalance: float
+    balanced: bool
+    wall_seconds: float
+    modeled_seconds: float
+    peak_bytes: int
+    memory: MemoryReport
+    num_levels: int
+    config_name: str
+    phase_stats: dict = field(default_factory=dict)
+
+    @property
+    def partition(self) -> np.ndarray:
+        return self.pgraph.partition
+
+
+def partition(
+    graph,
+    k: int,
+    config: PartitionerConfig | None = None,
+    *,
+    tracker: MemoryTracker | None = None,
+    runtime: ParallelRuntime | None = None,
+) -> PartitionResult:
+    """Partition ``graph`` into ``k`` balanced blocks.
+
+    ``graph`` may be a :class:`~repro.graph.csr.CSRGraph` or an
+    already-compressed :class:`~repro.graph.compressed.CompressedGraph`.
+    Returns a :class:`PartitionResult`; the partition array itself is
+    ``result.partition``.
+    """
+    config = config or terapart()
+    tracker = tracker if tracker is not None else MemoryTracker()
+    runtime = runtime or ParallelRuntime(config.p)
+    ctx = PartitionContext(
+        config=config,
+        k=k,
+        total_vertex_weight=graph.total_vertex_weight,
+        tracker=tracker,
+        runtime=runtime,
+    )
+    t0 = time.perf_counter()
+
+    with tracker.phase("partition"):
+        # ---------------- input representation ---------------- #
+        top = graph
+        input_aid = None
+        if config.compress_input and hasattr(graph, "indptr"):
+            with tracker.phase("compression"):
+                top = compress_graph(
+                    graph,
+                    enable_intervals=config.compression_intervals,
+                    tracker=None,
+                )
+                input_aid = tracker.alloc("input-graph", top.nbytes, "graph")
+        else:
+            input_aid = tracker.alloc("input-graph", top.nbytes, "graph")
+
+        # ---------------- coarsening ---------------- #
+        with tracker.phase("coarsening"):
+            levels = coarsen_hierarchy(top, ctx)
+
+        graphs = [top] + [lvl.graph for lvl in levels]
+        coarsest = graphs[-1]
+
+        # ---------------- initial partitioning ---------------- #
+        deep_state = None
+        with tracker.phase("initial-partitioning"):
+            if config.initial.scheme == "deep":
+                from repro.core.initial.deep import deep_initial_partition
+
+                part, deep_state = deep_initial_partition(
+                    coarsest,
+                    k,
+                    config.epsilon,
+                    ctx.rng,
+                    factor=config.coarsening.contraction_limit_factor,
+                    attempts=config.initial.attempts,
+                    fm_rounds=config.initial.fm_rounds,
+                )
+            else:
+                part = initial_partition(
+                    coarsest,
+                    k,
+                    config.epsilon,
+                    ctx.rng,
+                    attempts=config.initial.attempts,
+                    fm_rounds=config.initial.fm_rounds,
+                )
+            # the portfolio and the bisection tree parallelize over at
+            # most ~k slots (the paper: "initial partitioning can only make
+            # full use of parallelism once k\' >= p")
+            runtime.record(
+                "initial-partitioning",
+                work=float(
+                    coarsest.num_directed_edges
+                    * max(1, int(np.log2(max(k, 2))))
+                    * config.initial.attempts
+                ),
+                max_parallelism=float(k),
+            )
+
+        lmax = max_block_weight(graph.total_vertex_weight, k, config.epsilon)
+
+        def block_limits() -> np.ndarray | int:
+            """Scalar L_max once all k blocks exist; budget-scaled during
+            the deep scheme's growth phase (block b holds budgets[b] final
+            blocks, so its ceiling is budgets[b] * ceil(w/k) * (1+eps))."""
+            if deep_state is None or deep_state.done():
+                return lmax
+            limits = np.full(k, lmax, dtype=np.int64)
+            per_final = -(-graph.total_vertex_weight // k)
+            kc = deep_state.k_current
+            limits[:kc] = (
+                (1.0 + config.epsilon)
+                * per_final
+                * deep_state.budgets.astype(np.float64)
+            ).astype(np.int64)
+            return limits
+
+        # ---------------- uncoarsening + refinement ---------------- #
+        pgraph = PartitionedGraph(coarsest, k, part)
+        for li in range(len(graphs) - 1, -1, -1):
+            with tracker.phase(f"refinement-level{li}"):
+                if deep_state is not None and not deep_state.done():
+                    from repro.core.initial.deep import extend_partition
+
+                    extend_partition(
+                        pgraph,
+                        deep_state,
+                        ctx.rng,
+                        factor=config.coarsening.contraction_limit_factor,
+                        attempts=config.initial.attempts,
+                        fm_rounds=config.initial.fm_rounds,
+                    )
+                limits = block_limits()
+                rebalance(pgraph, limits)
+                lp_refine(pgraph, ctx, limits)
+                if config.use_fm and (deep_state is None or deep_state.done()):
+                    if config.fm.localized:
+                        fm_refine_localized(
+                            pgraph, ctx, lmax, max_region=config.fm.max_region
+                        )
+                    else:
+                        fm_refine(pgraph, ctx, lmax)
+                rebalance(pgraph, limits)
+            if li > 0:
+                # project to the next finer graph and drop the coarse level
+                fine_to_coarse = levels[li - 1].fine_to_coarse
+                finer = graphs[li - 1]
+                part = pgraph.partition[fine_to_coarse].astype(np.int32)
+                tracker.free(levels[li - 1].graph_aid)
+                pgraph = PartitionedGraph(finer, k, part)
+
+        # the deep scheme may still owe block splits if the hierarchy was
+        # shallow; finish them on the input graph
+        if deep_state is not None and not deep_state.done():
+            from repro.core.initial.deep import extend_partition
+
+            while not deep_state.done():
+                if not extend_partition(
+                    pgraph,
+                    deep_state,
+                    ctx.rng,
+                    factor=1,  # force: every remaining budget must split now
+                    attempts=config.initial.attempts,
+                    fm_rounds=config.initial.fm_rounds,
+                ):
+                    break
+            rebalance(pgraph, lmax)
+            lp_refine(pgraph, ctx, lmax)
+            rebalance(pgraph, lmax)
+
+        if input_aid is not None:
+            tracker.free(input_aid)
+
+    wall = time.perf_counter() - t0
+    model = CostModel()
+    modeled = model.total_time(runtime.all_stats(), runtime.p)
+    return PartitionResult(
+        pgraph=pgraph,
+        cut=pgraph.cut_weight(),
+        cut_fraction=pgraph.cut_fraction(),
+        imbalance=pgraph.imbalance(),
+        balanced=pgraph.is_balanced(config.epsilon),
+        wall_seconds=wall,
+        modeled_seconds=modeled,
+        peak_bytes=tracker.peak_bytes,
+        memory=MemoryReport.from_tracker(tracker),
+        num_levels=len(levels),
+        config_name=config.name,
+        phase_stats={name: s for name, s in runtime.all_stats().items()},
+    )

@@ -1,0 +1,21 @@
+"""Uncoarsening refinement: size-constrained LP, k-way FM, rebalancing."""
+
+from repro.core.refinement.gain_table import (
+    FullGainTable,
+    NoGainTable,
+    SparseGainTable,
+    make_gain_table,
+)
+from repro.core.refinement.lp_refine import lp_refine
+from repro.core.refinement.fm_refine import fm_refine
+from repro.core.refinement.balancer import rebalance
+
+__all__ = [
+    "FullGainTable",
+    "NoGainTable",
+    "SparseGainTable",
+    "make_gain_table",
+    "lp_refine",
+    "fm_refine",
+    "rebalance",
+]

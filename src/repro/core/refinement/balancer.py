@@ -1,0 +1,83 @@
+"""Rebalancer: repairs balance violations after projection/refinement.
+
+Greedy: repeatedly take the lightest-loss boundary vertex of an overloaded
+block and move it to the feasible adjacent (or, failing that, lightest)
+block.  Mirrors (d)KaMinPar's rebalancing step that repairs violations
+introduced by batched parallel moves.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.partition import PartitionedGraph
+
+
+def rebalance(pgraph: PartitionedGraph, max_block_weight) -> int:
+    """Move vertices until every block fits; returns number of moves.
+
+    ``max_block_weight`` may be a scalar or a per-block array.
+    """
+    g = pgraph.graph
+    vwgt = np.asarray(g.vwgt)
+    part = pgraph.partition
+    moves = 0
+    max_block_weight = np.broadcast_to(
+        np.asarray(max_block_weight, dtype=np.int64), (pgraph.k,)
+    )
+
+    overloaded = [
+        b for b in range(pgraph.k) if pgraph.block_weights[b] > max_block_weight[b]
+    ]
+    if not overloaded:
+        return 0
+
+    for b in overloaded:
+        # candidates: vertices of b, by loss (= cut increase when leaving)
+        members = np.flatnonzero(part == b)
+        heap: list[tuple[int, int, int, int]] = []
+        counter = 0
+        for u in members.tolist():
+            nbrs, wgts = g.neighbors_and_weights(u)
+            nbrs = np.asarray(nbrs)
+            wgts = np.asarray(wgts)
+            if len(nbrs):
+                blocks = part[nbrs]
+                uniq, inv = np.unique(blocks, return_inverse=True)
+                aff = np.zeros(len(uniq), dtype=np.int64)
+                np.add.at(aff, inv, wgts)
+                own = int(aff[np.searchsorted(uniq, b)]) if b in uniq else 0
+                ext = [
+                    (int(a), int(t)) for t, a in zip(uniq.tolist(), aff.tolist()) if t != b
+                ]
+                best_aff, best_t = max(ext) if ext else (0, -1)
+            else:
+                own, best_aff, best_t = 0, 0, -1
+            loss = own - best_aff
+            heapq.heappush(heap, (loss, counter, u, best_t))
+            counter += 1
+
+        while pgraph.block_weights[b] > max_block_weight[b] and heap:
+            _, _, u, target = heapq.heappop(heap)
+            if part[u] != b:
+                continue
+            w = int(vwgt[u])
+            if (
+                target >= 0
+                and pgraph.block_weights[target] + w <= max_block_weight[target]
+            ):
+                pgraph.move(u, target)
+                moves += 1
+                continue
+            # fall back to the block with the most headroom
+            headroom = max_block_weight - pgraph.block_weights
+            lightest = int(np.argmax(headroom))
+            if (
+                lightest != b
+                and pgraph.block_weights[lightest] + w <= max_block_weight[lightest]
+            ):
+                pgraph.move(u, lightest)
+                moves += 1
+    return moves

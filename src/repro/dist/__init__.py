@@ -1,0 +1,34 @@
+"""Simulated distributed-memory substrate and xTeraPart.
+
+The paper's distributed experiments (Section VI-C) run dKaMinPar + graph
+compression ("xTeraPart") over MPI on up to 128 nodes.  Here the message
+passing layer is simulated in-process (DESIGN.md section 2): ranks execute
+collectives in lock-step supersteps, every byte crossing rank boundaries is
+counted, and each rank owns a private memory ledger so per-node peaks (the
+256 GiB constraint that OOMs the baselines in Fig. 8) are measured exactly.
+
+Key pieces:
+
+* :class:`SimComm` -- rank-indexed collectives (alltoallv / allgather /
+  allreduce / bcast) in the shape of the mpi4py API.
+* :class:`DistributedGraph` -- contiguous vertex ranges per rank, adjacency
+  in global IDs, ghost-vertex mappings (the 1.2-1.3x overhead the paper
+  attributes to distribution).
+* :func:`repro.dist.dpartitioner.dpartition` -- the distributed multilevel
+  driver: distributed LP coarsening, distributed contraction, per-rank
+  initial partitioning on a gathered coarsest graph, distributed LP
+  refinement with batch-synchronous moves and rebalancing.
+"""
+
+from repro.dist.comm import CommStats, SimComm
+from repro.dist.dgraph import DistributedGraph, distribute_graph
+from repro.dist.dpartitioner import DistPartitionResult, dpartition
+
+__all__ = [
+    "CommStats",
+    "SimComm",
+    "DistributedGraph",
+    "distribute_graph",
+    "DistPartitionResult",
+    "dpartition",
+]

@@ -1,0 +1,112 @@
+"""Simulated MPI communicator.
+
+Collectives take rank-indexed inputs and return rank-indexed outputs; the
+simulation executes them atomically (a superstep barrier).  Byte counters
+feed the distributed cost model: per-rank traffic, message counts, and the
+number of supersteps (latency-bound term).  Per-rank memory ledgers live
+here too, because the binding constraint in Figure 8 is *per-node* memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memory.tracker import MemoryTracker
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication measurements."""
+
+    bytes_sent: int = 0
+    messages: int = 0
+    supersteps: int = 0
+
+    def record(self, nbytes: int, nmsgs: int) -> None:
+        self.bytes_sent += int(nbytes)
+        self.messages += int(nmsgs)
+        self.supersteps += 1
+
+
+def _nbytes(obj) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_nbytes(x) for x in obj)
+    return 8  # scalars / small objects
+
+
+class SimComm:
+    """A communicator over ``size`` simulated ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        self.size = size
+        self.stats = CommStats()
+        self.trackers = [MemoryTracker() for _ in range(size)]
+
+    # ------------------------------------------------------------------ #
+    # collectives (rank-indexed in, rank-indexed out)
+    # ------------------------------------------------------------------ #
+    def alltoallv(self, send: list[list]) -> list[list]:
+        """``send[src][dst]`` -> ``recv[dst][src]``."""
+        self._check_square(send)
+        traffic = sum(
+            _nbytes(send[s][d]) for s in range(self.size) for d in range(self.size) if s != d
+        )
+        self.stats.record(traffic, self.size * (self.size - 1))
+        return [
+            [send[s][d] for s in range(self.size)] for d in range(self.size)
+        ]
+
+    def allgather(self, items: list) -> list[list]:
+        """Every rank contributes one item; all ranks receive all items."""
+        if len(items) != self.size:
+            raise ValueError("allgather needs one item per rank")
+        per_rank = sum(_nbytes(x) for x in items)
+        self.stats.record(per_rank * (self.size - 1), self.size * (self.size - 1))
+        return [list(items) for _ in range(self.size)]
+
+    def allreduce(self, values: list[np.ndarray], op: str = "sum") -> np.ndarray:
+        """Element-wise reduction of one array per rank; result replicated."""
+        if len(values) != self.size:
+            raise ValueError("allreduce needs one value per rank")
+        arrs = [np.asarray(v) for v in values]
+        self.stats.record(
+            arrs[0].nbytes * 2 * max(0, self.size - 1), 2 * (self.size - 1)
+        )
+        if op == "sum":
+            return np.sum(arrs, axis=0)
+        if op == "max":
+            return np.max(arrs, axis=0)
+        if op == "min":
+            return np.min(arrs, axis=0)
+        raise ValueError(f"unknown reduction {op!r}")
+
+    def bcast(self, value, root: int = 0):
+        """Root's value replicated to every rank."""
+        self.stats.record(_nbytes(value) * (self.size - 1), self.size - 1)
+        return [value for _ in range(self.size)]
+
+    def barrier(self) -> None:
+        self.stats.record(0, self.size)
+
+    # ------------------------------------------------------------------ #
+    # per-rank memory
+    # ------------------------------------------------------------------ #
+    def max_rank_peak_bytes(self) -> int:
+        return max(t.peak_bytes for t in self.trackers)
+
+    def rank_peaks(self) -> list[int]:
+        return [t.peak_bytes for t in self.trackers]
+
+    def _check_square(self, send: list[list]) -> None:
+        if len(send) != self.size or any(len(row) != self.size for row in send):
+            raise ValueError(
+                f"alltoallv needs a {self.size}x{self.size} send matrix"
+            )

@@ -1,0 +1,267 @@
+"""Batch-synchronous distributed label propagation (dKaMinPar style).
+
+Coarsening clustering and refinement both run label propagation in
+synchronous vertex batches: within a batch every rank decides moves against
+the *stale* labels snapshotted at batch start (exactly the semantics of
+dKaMinPar's bulk-synchronous rounds), then label changes of boundary
+vertices are exchanged with the ranks holding them as ghosts.  Cluster/block
+weights are tracked approximately between batches via an allreduce of
+deltas, so the balance constraint can be transiently violated -- repaired by
+the explicit rebalancing step, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.comm import SimComm
+from repro.dist.dgraph import DistributedGraph
+
+
+def _segment_best(
+    owner: np.ndarray,
+    labels_of_nbrs: np.ndarray,
+    weights: np.ndarray,
+    id_space: int,
+    current: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Best label per owner (ties favor the current label, then jitter)."""
+    key = owner * np.int64(id_space) + labels_of_nbrs
+    order = np.argsort(key, kind="stable")
+    key_s, w_s = key[order], weights[order]
+    boundary = np.empty(len(key_s), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = key_s[1:] != key_s[:-1]
+    starts = np.flatnonzero(boundary)
+    ratings = np.add.reduceat(w_s, starts)
+    pair_key = key_s[starts]
+    po = pair_key // id_space
+    pl = pair_key % id_space
+    is_current = pl == current[po]
+    jitter = ((pl * 0x9E3779B1) ^ (po * 0x85EBCA6B)) >> 7 & 0x3F
+    rank_score = ((2 * ratings + is_current) << 6) | jitter
+    ordc = np.lexsort((rank_score, po))
+    last = np.empty(len(ordc), dtype=bool)
+    last[-1] = True
+    last[:-1] = po[ordc][1:] != po[ordc][:-1]
+    best = ordc[last]
+    return po[best], pl[best]
+
+
+
+def _ghost_update_payload(
+    dgraph: DistributedGraph,
+    changes: list[tuple[np.ndarray, np.ndarray]],
+) -> list[list[np.ndarray]]:
+    """Route each rank's label changes only to ranks holding them as ghosts.
+
+    ``changes[src]`` is ``(vertices, labels)`` moved by rank ``src`` this
+    batch.  Rank ``dst`` needs the update for vertex ``v`` iff ``v`` is in
+    ``dst``'s ghost set -- sending anything more would inflate traffic
+    quadratically in the rank count (and ruin weak scaling).
+    """
+    size = dgraph.comm.size
+    payload: list[list[np.ndarray]] = []
+    for src in range(size):
+        us = changes[src][0]
+        row: list[np.ndarray] = []
+        for dst in range(size):
+            if src == dst or len(us) == 0:
+                row.append(np.empty(0, dtype=np.int64))
+                continue
+            ghosts = dgraph.shards[dst].ghosts
+            pos = np.searchsorted(ghosts, us)
+            pos = np.minimum(pos, max(0, len(ghosts) - 1))
+            is_ghost = len(ghosts) > 0
+            mask = (ghosts[pos] == us) if is_ghost else np.zeros(len(us), bool)
+            row.append(us[mask])
+        payload.append(row)
+    return payload
+
+
+def distributed_lp_clustering(
+    dgraph: DistributedGraph,
+    max_cluster_weight: int,
+    rounds: int,
+    batches: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Cluster all vertices; returns global leader labels (size n).
+
+    The simulation holds labels in one global array but performs reads and
+    updates with the batch-synchronous protocol: decisions inside a batch
+    see only labels from the previous batch boundary, matching the stale
+    reads a real distributed run exhibits.  Per-rank ledgers are charged for
+    the per-rank label + ghost-label + weight-table working set.
+    """
+    comm = dgraph.comm
+    n = dgraph.n
+    labels = np.arange(n, dtype=np.int64)
+    weights = np.zeros(n, dtype=np.int64)
+    for shard in dgraph.shards:
+        weights[shard.lo : shard.hi] = shard.vwgt
+
+    # per-rank working set: local labels, ghost labels, active-cluster table
+    aids = []
+    for rank, shard in enumerate(dgraph.shards):
+        aids.append(
+            comm.trackers[rank].alloc(
+                f"dlp-working-set-{rank}",
+                8 * shard.n_local + 16 * len(shard.ghosts) + 16 * shard.n_local,
+                "clustering",
+            )
+        )
+
+    vwgt_global = weights.copy()
+    for _ in range(rounds):
+        moved = 0
+        for batch in range(batches):
+            snapshot = labels.copy()  # batch-start label view (stale reads)
+            all_changes: list[tuple[np.ndarray, np.ndarray]] = []
+            for shard in dgraph.shards:
+                local = np.arange(shard.lo, shard.hi, dtype=np.int64)
+                mine = local[local % batches == batch]
+                if len(mine) == 0:
+                    all_changes.append(
+                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                    )
+                    continue
+                owners = []
+                nbrs = []
+                ws = []
+                for i, u in enumerate(mine.tolist()):
+                    nv, wv = shard.neighbors_and_weights(u - shard.lo)
+                    if len(nv):
+                        owners.append(np.full(len(nv), i, dtype=np.int64))
+                        nbrs.append(np.asarray(nv))
+                        ws.append(np.asarray(wv))
+                if not owners:
+                    all_changes.append(
+                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                    )
+                    continue
+                owner = np.concatenate(owners)
+                nbr = np.concatenate(nbrs)
+                w = np.concatenate(ws)
+                po, pl = _segment_best(
+                    owner, snapshot[nbr], w, n, snapshot[mine]
+                )
+                us = mine[po]
+                cur = snapshot[us]
+                fits = weights[pl] + vwgt_global[us] <= max_cluster_weight
+                move = (pl != cur) & fits
+                all_changes.append((us[move], pl[move]))
+            # apply moves + exchange boundary label updates (alltoallv)
+            for us, ls in all_changes:
+                for u, l in zip(us.tolist(), ls.tolist()):
+                    w = int(vwgt_global[u])
+                    if weights[l] + w > max_cluster_weight:
+                        continue  # weight table refreshed between batches
+                    weights[labels[u]] -= w
+                    weights[l] += w
+                    labels[u] = l
+                    moved += 1
+            payload = _ghost_update_payload(dgraph, all_changes)
+            comm.alltoallv(payload)  # label updates to ghost holders only
+        comm.allreduce(
+            [np.array([moved], dtype=np.int64) for _ in range(comm.size)]
+        )
+        if moved == 0:
+            break
+
+    for rank, aid in enumerate(aids):
+        comm.trackers[rank].free(aid)
+    return labels
+
+
+def distributed_lp_refine(
+    dgraph: DistributedGraph,
+    partition: np.ndarray,
+    block_weights: np.ndarray,
+    k: int,
+    max_block_weight: int,
+    rounds: int,
+    batches: int,
+) -> int:
+    """Batch-synchronous size-constrained LP refinement; returns move count."""
+    comm = dgraph.comm
+    vwgt = np.zeros(dgraph.n, dtype=np.int64)
+    for shard in dgraph.shards:
+        vwgt[shard.lo : shard.hi] = shard.vwgt
+    total_moves = 0
+    for _ in range(rounds):
+        moved = 0
+        for batch in range(batches):
+            snapshot = partition.copy()
+            all_changes: list[tuple[np.ndarray, np.ndarray]] = []
+            for shard in dgraph.shards:
+                local = np.arange(shard.lo, shard.hi, dtype=np.int64)
+                mine = local[local % batches == batch]
+                owners, nbrs, ws = [], [], []
+                for i, u in enumerate(mine.tolist()):
+                    nv, wv = shard.neighbors_and_weights(u - shard.lo)
+                    if len(nv):
+                        owners.append(np.full(len(nv), i, dtype=np.int64))
+                        nbrs.append(np.asarray(nv))
+                        ws.append(np.asarray(wv))
+                if not owners:
+                    all_changes.append(
+                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                    )
+                    continue
+                owner = np.concatenate(owners)
+                nbr = np.concatenate(nbrs)
+                w = np.concatenate(ws)
+                # compute gains per (owner, block)
+                key = owner * np.int64(k) + snapshot[nbr]
+                order = np.argsort(key, kind="stable")
+                key_s, w_s = key[order], w[order]
+                boundary = np.empty(len(key_s), dtype=bool)
+                boundary[0] = True
+                boundary[1:] = key_s[1:] != key_s[:-1]
+                starts = np.flatnonzero(boundary)
+                ratings = np.add.reduceat(w_s, starts)
+                pair_key = key_s[starts]
+                po = pair_key // k
+                pb = pair_key % k
+                us_all = mine[po]
+                cur = snapshot[us_all].astype(np.int64)
+                cur_aff = np.zeros(len(mine), dtype=np.int64)
+                is_cur = pb == cur
+                cur_aff[po[is_cur]] = ratings[is_cur]
+                gain = ratings - cur_aff[po]
+                fits = block_weights[pb] + vwgt[us_all] <= max_block_weight
+                ok = fits & ~is_cur & (gain > 0)
+                if not np.any(ok):
+                    all_changes.append(
+                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                    )
+                    continue
+                po2, pb2, g2 = po[ok], pb[ok], gain[ok]
+                ordc = np.lexsort((g2, po2))
+                last = np.empty(len(ordc), dtype=bool)
+                last[-1] = True
+                last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
+                best = ordc[last]
+                all_changes.append((mine[po2[best]], pb2[best]))
+            for us, bs in all_changes:
+                for u, b in zip(us.tolist(), bs.tolist()):
+                    w = int(vwgt[u])
+                    src = int(partition[u])
+                    if b == src:
+                        continue
+                    # batch-synchronous: the stale weight check may overfill;
+                    # the rebalancer repairs it afterwards (paper Section II-B)
+                    block_weights[src] -= w
+                    block_weights[b] += w
+                    partition[u] = b
+                    moved += 1
+            payload = _ghost_update_payload(dgraph, all_changes)
+            comm.alltoallv(payload)
+        comm.allreduce(
+            [block_weights.copy() for _ in range(comm.size)], op="max"
+        )
+        total_moves += moved
+        if moved == 0:
+            break
+    return total_moves

@@ -1,0 +1,394 @@
+"""The distributed multilevel driver (dKaMinPar / xTeraPart).
+
+Pipeline (Section II-B):
+
+1. **Coarsening**: batch-synchronous distributed LP clustering, then a
+   distributed contraction -- coarse vertices are owned by the rank owning
+   the cluster leader, coarse edges travel to their owner via alltoallv.
+2. **Initial partitioning**: *every rank obtains a full copy of the
+   coarsest graph* (a deliberate memory spike, charged per rank) and runs
+   the shared-memory partitioner with rank-specific seeds; the best result
+   wins and is broadcast.
+3. **Uncoarsening**: project, batch-synchronous LP refinement, explicit
+   rebalancing of the violations the stale-weight batches introduce.
+
+``compressed=True`` stores every level's shards with the Section III codec:
+that single toggle is what turns dKaMinPar into xTeraPart, and it is what
+lets the per-rank ledger stay under the node memory budget for graphs 8x
+larger (Fig. 8 left/middle).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import PartitionerConfig, terapart
+from repro.core.initial.recursive import initial_partition
+from repro.core.partition import max_block_weight
+from repro.dist.comm import CommStats, SimComm
+from repro.dist.dgraph import DistributedGraph, distribute_graph
+from repro.dist.dlp import distributed_lp_clustering, distributed_lp_refine
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class DistPartitionResult:
+    partition: np.ndarray
+    cut: int
+    cut_fraction: float
+    imbalance: float
+    balanced: bool
+    num_ranks: int
+    max_rank_peak_bytes: int
+    rank_peak_bytes: list[int]
+    comm: CommStats
+    wall_seconds: float
+    modeled_seconds: float
+    num_levels: int
+    oom: bool = False
+
+
+@dataclass
+class DistConfig:
+    """Distributed driver knobs."""
+
+    lp_rounds: int = 3
+    refine_rounds: int = 2
+    batches: int = 4
+    contraction_limit_factor: int = 32
+    max_levels: int = 16
+    min_shrink_factor: float = 1.05
+    # per-rank memory budget in bytes; exceeded -> OOM (Fig. 8 markers).
+    rank_memory_budget: int | None = None
+    seed: int = 0
+    epsilon: float = 0.03
+
+
+def _contract_distributed(
+    dgraph: DistributedGraph, labels: np.ndarray, compressed: bool
+) -> tuple[DistributedGraph, np.ndarray]:
+    """Contract a distributed clustering into a new distributed graph.
+
+    Follows the dKaMinPar protocol: a coarse vertex is owned by the rank
+    that owns its cluster leader; coarse IDs are assigned contiguously per
+    owner (prefix offsets agreed via allgather); every rank aggregates its
+    local coarse edges, buckets them by owner, and ships each bucket to its
+    owner with one alltoallv; owners merge the received buckets into their
+    shard of the coarse graph.
+    """
+    comm = dgraph.comm
+    n = dgraph.n
+    leaders = np.unique(labels)
+
+    # ---- coarse numbering: contiguous per owner rank ---- #
+    leader_owner = dgraph.owner_of(leaders)
+    counts = np.bincount(leader_owner, minlength=comm.size).astype(np.int64)
+    comm.allgather(list(counts))  # every rank learns all counts
+    coarse_ranges = np.zeros(comm.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=coarse_ranges[1:])
+    n_coarse = int(coarse_ranges[-1])
+    # leaders are sorted, and owner is monotone in leader id (contiguous
+    # fine ranges), so within-owner order is just the sorted order
+    remap = np.full(n, -1, dtype=np.int64)
+    remap[leaders] = np.arange(n_coarse, dtype=np.int64)
+    fine_to_coarse = remap[labels]
+
+    # ---- per-rank aggregation + bucketing by owner ---- #
+    buckets: list[list[np.ndarray]] = [
+        [np.empty((0, 3), dtype=np.int64) for _ in range(comm.size)]
+        for _ in range(comm.size)
+    ]
+    for shard in dgraph.shards:
+        srcs, dsts, ws = [], [], []
+        for lu in range(shard.n_local):
+            nv, wv = shard.neighbors_and_weights(lu)
+            if len(nv) == 0:
+                continue
+            cu = fine_to_coarse[shard.lo + lu]
+            cvs = fine_to_coarse[np.asarray(nv)]
+            keep = cvs != cu
+            if not np.any(keep):
+                continue
+            srcs.append(np.full(int(keep.sum()), cu, dtype=np.int64))
+            dsts.append(cvs[keep])
+            ws.append(np.asarray(wv)[keep])
+        if not srcs:
+            continue
+        cu = np.concatenate(srcs)
+        cv = np.concatenate(dsts)
+        w = np.concatenate(ws)
+        # local pre-merge (reduces traffic, exactly like the real system)
+        key = cu * np.int64(n_coarse) + cv
+        order = np.argsort(key, kind="stable")
+        key_s, w_s = key[order], w[order]
+        b = np.empty(len(key_s), dtype=bool)
+        b[0] = True
+        b[1:] = key_s[1:] != key_s[:-1]
+        starts = np.flatnonzero(b)
+        w_m = np.add.reduceat(w_s, starts)
+        key_u = key_s[starts]
+        cu, cv, w = key_u // n_coarse, key_u % n_coarse, w_m
+        owners = np.searchsorted(coarse_ranges, cu, side="right") - 1
+        for dst_rank in range(comm.size):
+            mask = owners == dst_rank
+            if np.any(mask):
+                buckets[shard.rank][dst_rank] = np.stack(
+                    [cu[mask], cv[mask], w[mask]], axis=1
+                )
+    received = comm.alltoallv(buckets)
+
+    # ---- owners merge their buckets into the coarse graph ---- #
+    all_rows = [
+        row for per_rank in received for row in per_rank if len(row)
+    ]
+    if all_rows:
+        rows = np.concatenate(all_rows, axis=0)
+        cu, cv, w = rows[:, 0], rows[:, 1], rows[:, 2]
+        key = cu * np.int64(n_coarse) + cv
+        order = np.argsort(key, kind="stable")
+        key_s, w_s = key[order], w[order]
+        b = np.empty(len(key_s), dtype=bool)
+        b[0] = True
+        b[1:] = key_s[1:] != key_s[:-1]
+        starts = np.flatnonzero(b)
+        w = np.add.reduceat(w_s, starts)
+        key_u = key_s[starts]
+        cu, cv = key_u // n_coarse, key_u % n_coarse
+    else:
+        cu = cv = w = np.empty(0, dtype=np.int64)
+
+    vwgt = np.zeros(n_coarse, dtype=np.int64)
+    all_vwgt = np.zeros(n, dtype=np.int64)
+    for shard in dgraph.shards:
+        all_vwgt[shard.lo : shard.hi] = shard.vwgt
+    np.add.at(vwgt, fine_to_coarse, all_vwgt)
+
+    degrees = np.bincount(cu, minlength=n_coarse).astype(np.int64)
+    indptr = np.zeros(n_coarse + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    unit = bool(len(w) == 0 or np.all(w == 1))
+    coarse = CSRGraph(
+        indptr, cv, None if unit else w, vwgt, sorted_neighborhoods=True
+    )
+    dcoarse = distribute_graph(
+        coarse, comm, compressed=compressed, ranges=coarse_ranges
+    )
+    return dcoarse, fine_to_coarse
+
+
+def _graph_cut(dgraph: DistributedGraph, partition: np.ndarray) -> int:
+    total = 0
+    for shard in dgraph.shards:
+        for lu in range(shard.n_local):
+            nv, wv = shard.neighbors_and_weights(lu)
+            if len(nv) == 0:
+                continue
+            cross = partition[shard.lo + lu] != partition[np.asarray(nv)]
+            total += int(np.asarray(wv)[cross].sum())
+    return total // 2
+
+
+def dpartition(
+    graph,
+    k: int,
+    comm_or_ranks: SimComm | int = 8,
+    *,
+    compressed: bool = False,
+    config: DistConfig | None = None,
+    sm_config: PartitionerConfig | None = None,
+) -> DistPartitionResult:
+    """Partition ``graph`` on a simulated cluster of ranks.
+
+    ``compressed=False`` is dKaMinPar; ``compressed=True`` is xTeraPart.
+    A ``rank_memory_budget`` turns the run into a feasibility experiment:
+    the result's ``oom`` flag reports whether any rank exceeded the budget
+    (the per-node 256 GiB constraint of Fig. 8).
+    """
+    cfg = config or DistConfig()
+    comm = (
+        comm_or_ranks
+        if isinstance(comm_or_ranks, SimComm)
+        else SimComm(comm_or_ranks)
+    )
+    rng = np.random.default_rng(cfg.seed)
+    t0 = time.perf_counter()
+
+    dgraph = distribute_graph(graph, comm, compressed=compressed)
+    top = dgraph
+    hierarchy: list[tuple[DistributedGraph, np.ndarray]] = []
+    limit = max(2 * k, cfg.contraction_limit_factor * k)
+    total_weight = dgraph.total_vertex_weight
+    max_cluster_weight = max(1, total_weight // max(limit, 1))
+
+    current = dgraph
+    for _ in range(cfg.max_levels):
+        if current.n <= limit:
+            break
+        labels = distributed_lp_clustering(
+            current, max_cluster_weight, cfg.lp_rounds, cfg.batches, rng
+        )
+        shrink = current.n / max(len(np.unique(labels)), 1)
+        if shrink < cfg.min_shrink_factor:
+            break
+        coarse, fine_to_coarse = _contract_distributed(
+            current, labels, compressed
+        )
+        hierarchy.append((current, fine_to_coarse))
+        current = coarse
+
+    # ---- initial partitioning: full coarsest copy on every rank ---- #
+    coarsest_edges = []
+    coarsest_w = []
+    for shard in current.shards:
+        for lu in range(shard.n_local):
+            nv, wv = shard.neighbors_and_weights(lu)
+            u = shard.lo + lu
+            mask = np.asarray(nv) > u
+            coarsest_edges.append(
+                np.stack(
+                    [np.full(int(mask.sum()), u, dtype=np.int64), np.asarray(nv)[mask]],
+                    axis=1,
+                )
+            )
+            coarsest_w.append(np.asarray(wv)[mask])
+    vwgt = np.concatenate([s.vwgt for s in current.shards])
+    if coarsest_edges:
+        e = np.concatenate(coarsest_edges)
+        w = np.concatenate(coarsest_w)
+    else:
+        e = np.zeros((0, 2), dtype=np.int64)
+        w = None
+    coarsest = from_edges(current.n, e, w, vwgt, symmetrize=True)
+    copy_aids = [
+        comm.trackers[r].alloc(f"coarsest-copy-{r}", coarsest.nbytes, "initial")
+        for r in range(comm.size)
+    ]
+    comm.allgather([coarsest.nbytes for _ in range(comm.size)])
+    sm_cfg = sm_config or terapart()
+    best_part = None
+    best_cut = None
+    for r in range(comm.size):
+        part = initial_partition(
+            coarsest,
+            k,
+            cfg.epsilon,
+            np.random.default_rng(cfg.seed * 1000 + r),
+            attempts=2,
+            fm_rounds=1,
+        )
+        from repro.core.partition import PartitionedGraph
+
+        cut = PartitionedGraph(coarsest, k, part).cut_weight()
+        if best_cut is None or cut < best_cut:
+            best_cut, best_part = cut, part
+    comm.bcast(best_part)
+    for r, aid in enumerate(copy_aids):
+        comm.trackers[r].free(aid)
+
+    # ---- uncoarsening ---- #
+    partition = best_part.astype(np.int32)
+    lmax = max_block_weight(total_weight, k, cfg.epsilon)
+    levels = [current] + []
+    stack = hierarchy[::-1]
+    cur_graph = current
+    for dg, fine_to_coarse in stack:
+        bw = np.zeros(k, dtype=np.int64)
+        cvw = np.concatenate([s.vwgt for s in cur_graph.shards])
+        np.add.at(bw, partition, cvw)
+        distributed_lp_refine(
+            cur_graph, partition, bw, k, lmax, cfg.refine_rounds, cfg.batches
+        )
+        _rebalance_distributed(cur_graph, partition, bw, k, lmax)
+        cur_graph.free()
+        partition = partition[fine_to_coarse]
+        cur_graph = dg
+    # top level refinement
+    bw = np.zeros(k, dtype=np.int64)
+    tvw = np.concatenate([s.vwgt for s in cur_graph.shards])
+    np.add.at(bw, partition, tvw)
+    distributed_lp_refine(
+        cur_graph, partition, bw, k, lmax, cfg.refine_rounds, cfg.batches
+    )
+    _rebalance_distributed(cur_graph, partition, bw, k, lmax)
+
+    cut = _graph_cut(cur_graph, partition)
+    avg = total_weight / k
+    imbalance = float(bw.max()) / avg - 1.0 if avg else 0.0
+    wall = time.perf_counter() - t0
+    peaks = comm.rank_peaks()
+    oom = (
+        cfg.rank_memory_budget is not None
+        and max(peaks) > cfg.rank_memory_budget
+    )
+    modeled = _modeled_seconds(dgraph, comm, k)
+    top.free()
+    return DistPartitionResult(
+        partition=partition,
+        cut=cut,
+        cut_fraction=cut / max(1, graph.total_edge_weight // 2),
+        imbalance=imbalance,
+        balanced=bool(bw.max() <= lmax),
+        num_ranks=comm.size,
+        max_rank_peak_bytes=max(peaks),
+        rank_peak_bytes=peaks,
+        comm=comm.stats,
+        wall_seconds=wall,
+        modeled_seconds=modeled,
+        num_levels=len(hierarchy),
+        oom=oom,
+    )
+
+
+def _rebalance_distributed(
+    dgraph: DistributedGraph,
+    partition: np.ndarray,
+    block_weights: np.ndarray,
+    k: int,
+    lmax: int,
+) -> int:
+    """Greedy repair of balance violations (the paper's rebalancing step)."""
+    vwgt = np.zeros(dgraph.n, dtype=np.int64)
+    for shard in dgraph.shards:
+        vwgt[shard.lo : shard.hi] = shard.vwgt
+    moves = 0
+    overloaded = [b for b in range(k) if block_weights[b] > lmax]
+    dgraph.comm.allreduce(
+        [block_weights.copy() for _ in range(dgraph.comm.size)], op="max"
+    )
+    for b in overloaded:
+        members = np.flatnonzero(partition == b)
+        order = np.argsort(vwgt[members], kind="stable")
+        for u in members[order].tolist():
+            if block_weights[b] <= lmax:
+                break
+            target = int(np.argmin(block_weights))
+            if target == b:
+                break
+            w = int(vwgt[u])
+            if block_weights[target] + w > lmax:
+                continue
+            block_weights[b] -= w
+            block_weights[target] += w
+            partition[u] = target
+            moves += 1
+    return moves
+
+
+def _modeled_seconds(
+    dgraph: DistributedGraph, comm: SimComm, k: int
+) -> float:
+    """Alpha-beta communication model + per-rank compute.
+
+    64 cores per node (the paper's HoreKa setting), 25 GB/s network
+    bandwidth per node, ~1 microsecond latency per superstep.
+    """
+    cores_per_node = 64
+    work = 2 * dgraph.m * 8  # a few passes over the edges
+    compute = work / (comm.size * cores_per_node * 50e6)
+    bandwidth = comm.stats.bytes_sent / (comm.size * 25e9)
+    latency = comm.stats.supersteps * 1e-6 * np.log2(max(2, comm.size))
+    return compute + bandwidth + latency

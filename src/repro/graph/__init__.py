@@ -1,0 +1,33 @@
+"""Graph substrate: representations, codecs, I/O and generators.
+
+Two interchangeable graph representations implement the same neighborhood
+protocol (``degree``, ``neighbors``, ``neighbors_and_weights``, ``nbytes``):
+
+* :class:`CSRGraph` -- plain compressed-sparse-row arrays (Section III).
+* :class:`CompressedGraph` -- gap + interval + VarInt encoded neighborhoods
+  with interleaved weights and chunked high-degree vertices (Section III-A),
+  decoded on the fly.
+
+Everything downstream (coarsening, refinement, baselines, the distributed
+layer) works against the protocol, so compression is a drop-in toggle, as in
+the paper.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.compressed import CompressedGraph, CompressionStats, compress_graph
+from repro.graph import generators, ordering
+from repro.graph.stats import GraphStats, compute_stats
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "CompressedGraph",
+    "CompressionStats",
+    "compress_graph",
+    "generators",
+    "ordering",
+    "GraphStats",
+    "compute_stats",
+]

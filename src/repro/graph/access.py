@@ -1,0 +1,105 @@
+"""Bulk adjacency access helpers shared by all vectorized kernels.
+
+Partitioning kernels in this reproduction are vectorized *per chunk of
+vertices*: they need, for a chunk ``[u_0, u_1, ...]``, the flattened arrays
+``(owner_index, neighbor, edge_weight)``.  For CSR graphs this is a pure
+numpy gather; for compressed graphs each neighborhood is decoded on the fly
+(the paper's point: decoding speed is close enough to raw CSR that the
+partitioner can run directly on the compressed representation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def traversal_cost(graph) -> tuple[float, float]:
+    """Per-directed-edge ``(bytes_moved, work_factor)`` of scanning ``graph``.
+
+    Raw CSR moves 16 bytes per edge (ID + weight); a compressed graph moves
+    only its encoded bytes but pays a decode-work overhead -- the mechanism
+    behind the paper's "compression costs ~6% time, saves 3-26x memory".
+    """
+    if hasattr(graph, "indptr"):
+        return 16.0, 1.0
+    stats = getattr(graph, "stats", None)
+    if stats is not None and graph.num_directed_edges:
+        data_bytes = len(graph.data) / graph.num_directed_edges
+    else:
+        data_bytes = 2.0
+    return data_bytes + 8.0 / max(1, graph.n), 1.3
+
+
+def chunk_adjacency(
+    graph, chunk: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened adjacency of a vertex chunk.
+
+    Returns ``(owner, neighbors, weights)`` where ``owner[i]`` is the index
+    *within the chunk* of the vertex owning edge ``i``.
+    """
+    chunk = np.asarray(chunk, dtype=np.int64)
+    if hasattr(graph, "indptr"):  # CSR fast path
+        starts = graph.indptr[chunk]
+        degs = graph.indptr[chunk + 1] - starts
+        total = int(degs.sum())
+        if total == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e, e
+        owner = np.repeat(np.arange(len(chunk), dtype=np.int64), degs)
+        # intra-neighborhood offsets: 0..deg-1 per vertex, vectorized
+        cum = np.cumsum(degs) - degs
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, degs)
+        gather = np.repeat(starts, degs) + offsets
+        return owner, graph.adjncy[gather], np.asarray(graph.adjwgt)[gather]
+    # compressed graph: per-neighborhood decode
+    owners: list[np.ndarray] = []
+    nbrs: list[np.ndarray] = []
+    wgts: list[np.ndarray] = []
+    for i, u in enumerate(chunk.tolist()):
+        nv, wv = graph.neighbors_and_weights(u)
+        if len(nv) == 0:
+            continue
+        owners.append(np.full(len(nv), i, dtype=np.int64))
+        nbrs.append(np.asarray(nv))
+        wgts.append(np.asarray(wv))
+    if not owners:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, e
+    return np.concatenate(owners), np.concatenate(nbrs), np.concatenate(wgts)
+
+
+def full_adjacency(graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened adjacency of the whole graph: ``(src, dst, weight)``."""
+    if hasattr(graph, "indptr"):
+        src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+        return src, graph.adjncy, np.asarray(graph.adjwgt)
+    owner, nbrs, wgts = chunk_adjacency(graph, np.arange(graph.n, dtype=np.int64))
+    return owner, nbrs, wgts
+
+
+def segment_reduce_ratings(
+    owner: np.ndarray,
+    clusters: np.ndarray,
+    weights: np.ndarray,
+    id_space: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregate edge weights per ``(owner, cluster)`` pair.
+
+    Returns ``(pair_owner, pair_cluster, pair_rating)`` -- the vectorized
+    equivalent of filling one rating map per chunk vertex.
+    """
+    if len(owner) == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e, e
+    key = owner * np.int64(id_space) + clusters
+    order = np.argsort(key, kind="stable")
+    key_s = key[order]
+    w_s = weights[order]
+    boundary = np.empty(len(key_s), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = key_s[1:] != key_s[:-1]
+    starts = np.flatnonzero(boundary)
+    ratings = np.add.reduceat(w_s, starts)
+    pair_key = key_s[starts]
+    return pair_key // id_space, pair_key % id_space, ratings

@@ -1,0 +1,165 @@
+"""Edge-list -> CSR builder.
+
+Handles the normalisations the paper applies to its inputs (Section VI,
+*Instances*): directed inputs are symmetrised by adding missing reverse
+edges, self-loops are removed, and parallel edges are merged by summing
+weights.  Neighborhoods come out sorted by neighbor ID, which the
+compression codec requires for gap encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def from_edges(
+    n: int,
+    edges: np.ndarray,
+    weights: np.ndarray | None = None,
+    vwgt: np.ndarray | None = None,
+    *,
+    symmetrize: bool = True,
+    dedup: bool = True,
+) -> CSRGraph:
+    """Build a :class:`CSRGraph` from an ``(e, 2)`` edge array.
+
+    Each row is one edge ``(u, v)``; with ``symmetrize=True`` the reverse
+    direction is added automatically (duplicates merge).  Self-loops are
+    always dropped.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must have shape (e, 2), got {edges.shape}")
+    if edges.size and (edges.min() < 0 or edges.max() >= n):
+        raise ValueError("edge endpoints out of range")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.int64)
+        if len(weights) != len(edges):
+            raise ValueError("weights must align with edges")
+        if weights.size and weights.min() <= 0:
+            raise ValueError("edge weights must be positive")
+
+    # drop self-loops
+    keep = edges[:, 0] != edges[:, 1]
+    edges = edges[keep]
+    if weights is not None:
+        weights = weights[keep]
+
+    src = edges[:, 0].copy()
+    dst = edges[:, 1].copy()
+    if weights is None:
+        weights = np.ones(len(src), dtype=np.int64)
+
+    if symmetrize and len(src):
+        # Canonicalise to undirected pairs (min, max).  A duplicate pair --
+        # whether the input listed (u,v) twice or listed both directions --
+        # collapses to one undirected edge with the *maximum* weight.  This
+        # is the paper's "add missing reverse edges" union semantics.
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        key = lo * np.int64(n) + hi
+        order = np.argsort(key, kind="stable")
+        key_s, lo_s, hi_s, w_s = key[order], lo[order], hi[order], weights[order]
+        uniq_mask = np.empty(len(key_s), dtype=bool)
+        uniq_mask[0] = True
+        uniq_mask[1:] = key_s[1:] != key_s[:-1]
+        if dedup:
+            group_ids = np.cumsum(uniq_mask) - 1
+            w_max = np.zeros(int(group_ids[-1]) + 1, dtype=np.int64)
+            np.maximum.at(w_max, group_ids, w_s)
+            lo, hi, weights = lo_s[uniq_mask], hi_s[uniq_mask], w_max
+        else:
+            lo, hi, weights = lo_s, hi_s, w_s
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        weights = np.concatenate([weights, weights])
+    elif dedup and len(src):
+        # caller promises a symmetric directed list; merge parallel edges by
+        # summing per direction (identical sums on both directions preserve
+        # symmetry).
+        key = src * np.int64(n) + dst
+        order = np.argsort(key, kind="stable")
+        key_s, src_s, dst_s, w_s = key[order], src[order], dst[order], weights[order]
+        uniq_mask = np.empty(len(key_s), dtype=bool)
+        uniq_mask[0] = True
+        uniq_mask[1:] = key_s[1:] != key_s[:-1]
+        group_ids = np.cumsum(uniq_mask) - 1
+        w_sum = np.zeros(int(group_ids[-1]) + 1, dtype=np.int64)
+        np.add.at(w_sum, group_ids, w_s)
+        src, dst, weights = src_s[uniq_mask], dst_s[uniq_mask], w_sum
+
+    order = np.lexsort((dst, src))
+    src, dst, weights = src[order], dst[order], weights[order]
+
+    degrees = np.bincount(src, minlength=n).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+
+    unit = bool(len(weights) == 0 or np.all(weights == 1))
+    return CSRGraph(
+        indptr,
+        dst,
+        None if unit else weights,
+        vwgt,
+        sorted_neighborhoods=True,
+    )
+
+
+class GraphBuilder:
+    """Incremental builder used by generators and tests.
+
+    Collects edges in Python lists (append-friendly) and materialises a
+    normalised :class:`CSRGraph` at the end.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.n = n
+        self._us: list[int] = []
+        self._vs: list[int] = []
+        self._ws: list[int] = []
+        self._vwgt: np.ndarray | None = None
+
+    def add_edge(self, u: int, v: int, w: int = 1) -> None:
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
+        self._us.append(u)
+        self._vs.append(v)
+        self._ws.append(w)
+
+    def add_edges(self, edges: np.ndarray, weights: np.ndarray | None = None) -> None:
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        self._us.extend(edges[:, 0].tolist())
+        self._vs.extend(edges[:, 1].tolist())
+        if weights is None:
+            self._ws.extend([1] * len(edges))
+        else:
+            self._ws.extend(np.asarray(weights, dtype=np.int64).tolist())
+
+    def set_vertex_weights(self, vwgt: np.ndarray) -> None:
+        vwgt = np.asarray(vwgt, dtype=np.int64)
+        if len(vwgt) != self.n:
+            raise ValueError("vwgt must have size n")
+        self._vwgt = vwgt
+
+    @property
+    def num_pending_edges(self) -> int:
+        return len(self._us)
+
+    def build(self, *, symmetrize: bool = True) -> CSRGraph:
+        edges = np.stack(
+            [
+                np.asarray(self._us, dtype=np.int64),
+                np.asarray(self._vs, dtype=np.int64),
+            ],
+            axis=1,
+        ) if self._us else np.zeros((0, 2), dtype=np.int64)
+        weights = np.asarray(self._ws, dtype=np.int64) if self._ws else None
+        return from_edges(
+            self.n, edges, weights, self._vwgt, symmetrize=symmetrize
+        )

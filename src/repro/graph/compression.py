@@ -1,0 +1,195 @@
+"""Parallel single-pass compression pipeline (Section III-B).
+
+The paper compresses the graph *during* I/O in one pass:
+
+1. The compressed edge array's final size is unknown upfront, so a
+   conservative upper bound is reserved with **memory overcommitment**; only
+   touched bytes are physically backed (modelled through the tracker's
+   overcommit allocations).
+2. Threads work on **packets** of consecutive vertices containing a similar
+   number of edges, compressing each packet into a thread-local buffer.
+3. An **ordered writer** hands out destination ranges: a thread that finished
+   packet ``i`` waits until all packets ``< i`` have claimed their ranges,
+   then advances the shared end position by its buffer size and copies the
+   buffer in.
+
+The simulation executes packets in virtual-thread order but reproduces the
+synchronisation structure: per-packet buffer sizes, the claim order, and the
+high-water mark of simultaneously-live thread-local buffers (which is what
+the technique saves memory on).  Output is byte-identical to the sequential
+:func:`repro.graph.compressed.compress_graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.compressed import (
+    CompressedGraph,
+    CompressionConfig,
+    CompressionStats,
+    encode_neighborhood,
+)
+from repro.graph.csr import CSRGraph
+from repro.parallel.runtime import ParallelRuntime
+
+
+def compressed_size_upper_bound(
+    degrees: np.ndarray, weighted: bool
+) -> int:
+    """Worst-case byte size of the compressed edge array.
+
+    Every neighbor gap fits in 10 VarInt bytes; headers, interval counts and
+    chunk length prefixes add at most ``10`` bytes per vertex plus ``10``
+    per chunk; weights add at most ``10`` per edge.  This is the reservation
+    the paper overcommits -- deliberately loose, because only touched pages
+    materialise.
+    """
+    total_deg = int(degrees.sum())
+    n = len(degrees)
+    per_edge = 10 * (2 if weighted else 1)
+    chunk_overhead = 10 * int(np.sum(-(-degrees // 1000)))
+    return 20 * n + per_edge * total_deg + chunk_overhead + 10
+
+
+@dataclass
+class PacketTrace:
+    """Synchronisation record for one packet (for tests/cost model)."""
+
+    packet_id: int
+    thread_id: int
+    num_vertices: int
+    buffer_bytes: int
+    claim_position: int
+
+
+def compress_graph_parallel(
+    graph: CSRGraph,
+    runtime: ParallelRuntime,
+    *,
+    enable_intervals: bool = True,
+    high_degree_threshold: int = 10_000,
+    chunk_length: int = 1_000,
+    tracker=None,
+) -> tuple[CompressedGraph, list[PacketTrace]]:
+    """Compress ``graph`` with the packet-ordered parallel pipeline."""
+    if not graph.sorted_neighborhoods:
+        graph = graph.with_sorted_neighborhoods()
+    cfg = CompressionConfig(
+        enable_intervals=enable_intervals,
+        high_degree_threshold=high_degree_threshold,
+        chunk_length=chunk_length,
+    )
+    stats = CompressionStats(uncompressed_bytes=graph.nbytes)
+    n = graph.n
+    weighted = graph.has_edge_weights
+
+    # reserve the overcommitted edge array
+    bound = compressed_size_upper_bound(graph.degrees, weighted)
+    oc_aid = None
+    if tracker is not None:
+        oc_aid = tracker.alloc(
+            "compressed-edge-array", bound, "graph", overcommit=True
+        )
+
+    # packets of consecutive vertices with similar edge counts
+    order = np.arange(n, dtype=np.int64)
+    degrees = graph.degrees
+    schedule = runtime.schedule_balanced(order, np.maximum(degrees, 1))
+
+    offsets = np.empty(n + 1, dtype=np.int64)
+    out = bytearray()
+    traces: list[PacketTrace] = []
+    max_buffer_bytes = 0
+
+    # The ordered-writer protocol: packets claim ranges strictly in packet
+    # order.  We iterate in that order (virtual threads are deterministic),
+    # recording per-packet buffers exactly as the real pipeline would hold
+    # them.  At most one buffer per thread is live at a time; the tracker
+    # charges the per-thread high-water mark.
+    thread_buf_aids: dict[int, int] = {}
+    for packet_id, (tid, chunk) in enumerate(schedule):
+        buf = bytearray()
+        local_offsets = np.empty(len(chunk), dtype=np.int64)
+        for i, u in enumerate(chunk.tolist()):
+            local_offsets[i] = len(buf)
+            nbrs, wgts = graph.neighbors_and_weights(u)
+            encode_neighborhood(
+                u,
+                nbrs,
+                np.asarray(wgts) if weighted else None,
+                int(graph.indptr[u]),
+                buf,
+                cfg,
+                stats,
+            )
+        if tracker is not None:
+            if tid in thread_buf_aids:
+                tracker.free(thread_buf_aids[tid])
+            thread_buf_aids[tid] = tracker.alloc(
+                f"packet-buffer-t{tid}", len(buf), "compression-buffers"
+            )
+        max_buffer_bytes = max(max_buffer_bytes, len(buf))
+        # claim: advance shared end position (packets < id already claimed)
+        claim = len(out)
+        offsets[chunk] = claim + local_offsets
+        out.extend(buf)
+        if tracker is not None and oc_aid is not None:
+            tracker.touch(oc_aid, len(out))
+        traces.append(
+            PacketTrace(packet_id, tid, len(chunk), len(buf), claim)
+        )
+        runtime.record(
+            "compression",
+            work=float(degrees[chunk].sum() + len(chunk)),
+            bytes_moved=float(2 * len(buf)),
+        )
+    for aid in thread_buf_aids.values():
+        if tracker is not None:
+            tracker.free(aid)
+    offsets[n] = len(out)
+    data = bytes(out)
+    stats.compressed_bytes = len(data) + offsets.nbytes
+    vwgt = np.asarray(graph.vwgt).copy() if graph.has_vertex_weights else None
+    cg = CompressedGraph(
+        n,
+        graph.num_directed_edges,
+        offsets,
+        data,
+        vwgt,
+        has_edge_weights=weighted,
+        config=cfg,
+        stats=stats,
+        total_edge_weight=graph.total_edge_weight,
+    )
+    if tracker is not None and oc_aid is not None:
+        # replace the overcommitted reservation by the final footprint
+        tracker.free(oc_aid)
+        tracker.alloc("compressed-graph", cg.nbytes, "graph")
+    return cg, traces
+
+
+def io_time_model(
+    graph_bytes: int,
+    p: int,
+    *,
+    compress: bool,
+    disk_bandwidth: float = 3.5e9,
+    compress_rate_per_core: float = 60e6,
+) -> float:
+    """Modelled wall-clock seconds to stream a graph from disk.
+
+    Reproduces the paper's I/O observation (Section VI *Methodology*): with
+    one core, on-the-fly compression dominates (2905 s vs 572 s on eu-2015);
+    with 96 cores the compression hides behind the disk (179 s vs 177 s).
+    """
+    disk_seconds = graph_bytes / disk_bandwidth
+    if not compress:
+        return disk_seconds
+    compress_seconds = graph_bytes / (compress_rate_per_core * p)
+    # pipelined: the slower stage dominates, plus a small coupling term
+    return max(disk_seconds, compress_seconds) + 0.01 * min(
+        disk_seconds, compress_seconds
+    )

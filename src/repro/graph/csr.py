@@ -1,0 +1,226 @@
+"""Uncompressed CSR graph (Section III of the paper).
+
+Edges live in one contiguous array ``adjncy`` of size ``2m`` (each undirected
+edge stored in both directions); ``indptr`` of size ``n+1`` stores the
+beginning of each neighborhood.  Vertex and edge weights are int64 arrays;
+unweighted graphs share a single broadcast-stride array so they cost no extra
+memory, matching the paper's storage model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _ones_like_view(n: int) -> np.ndarray:
+    """A length-``n`` all-ones int64 array that occupies 8 bytes total."""
+    base = np.ones(1, dtype=np.int64)
+    return np.lib.stride_tricks.as_strided(
+        base, shape=(n,), strides=(0,), writeable=False
+    )
+
+
+class CSRGraph:
+    """An undirected graph in compressed-sparse-row form.
+
+    Parameters
+    ----------
+    indptr:
+        int64 array of size ``n+1``; neighborhood of ``u`` is
+        ``adjncy[indptr[u]:indptr[u+1]]``.
+    adjncy:
+        int64 array of size ``2m`` holding neighbor IDs.
+    adjwgt:
+        optional int64 edge weights aligned with ``adjncy``.
+    vwgt:
+        optional int64 vertex weights.
+    sorted_neighborhoods:
+        set True if every neighborhood is sorted ascending (required by the
+        compression codec; the builder guarantees it).
+    """
+
+    __slots__ = (
+        "indptr",
+        "adjncy",
+        "adjwgt",
+        "vwgt",
+        "sorted_neighborhoods",
+        "_unit_edge_weights",
+        "_unit_vertex_weights",
+        "_total_vertex_weight",
+        "_total_edge_weight",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        adjncy: np.ndarray,
+        adjwgt: np.ndarray | None = None,
+        vwgt: np.ndarray | None = None,
+        *,
+        sorted_neighborhoods: bool = False,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        adjncy = np.ascontiguousarray(adjncy, dtype=np.int64)
+        if indptr.ndim != 1 or len(indptr) < 1:
+            raise ValueError("indptr must be a 1-D array of size n+1")
+        if indptr[0] != 0 or indptr[-1] != len(adjncy):
+            raise ValueError(
+                f"indptr must start at 0 and end at len(adjncy)={len(adjncy)}, "
+                f"got [{indptr[0]}, {indptr[-1]}]"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        self.indptr = indptr
+        self.adjncy = adjncy
+        n = len(indptr) - 1
+        if len(adjncy) and (adjncy.min() < 0 or adjncy.max() >= n):
+            raise ValueError("adjncy contains out-of-range vertex IDs")
+
+        self._unit_edge_weights = adjwgt is None
+        if adjwgt is None:
+            adjwgt = _ones_like_view(len(adjncy))
+        else:
+            adjwgt = np.ascontiguousarray(adjwgt, dtype=np.int64)
+            if len(adjwgt) != len(adjncy):
+                raise ValueError("adjwgt must align with adjncy")
+        self.adjwgt = adjwgt
+
+        self._unit_vertex_weights = vwgt is None
+        if vwgt is None:
+            vwgt = _ones_like_view(n)
+        else:
+            vwgt = np.ascontiguousarray(vwgt, dtype=np.int64)
+            if len(vwgt) != n:
+                raise ValueError("vwgt must have size n")
+        self.vwgt = vwgt
+
+        self.sorted_neighborhoods = bool(sorted_neighborhoods)
+        self._total_vertex_weight = int(n if self._unit_vertex_weights else vwgt.sum())
+        self._total_edge_weight = int(
+            len(adjncy) if self._unit_edge_weights else self.adjwgt.sum()
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of *undirected* edges (``len(adjncy) // 2``)."""
+        return len(self.adjncy) // 2
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self.adjncy)
+
+    @property
+    def has_edge_weights(self) -> bool:
+        return not self._unit_edge_weights
+
+    @property
+    def has_vertex_weights(self) -> bool:
+        return not self._unit_vertex_weights
+
+    @property
+    def total_vertex_weight(self) -> int:
+        return self._total_vertex_weight
+
+    @property
+    def total_edge_weight(self) -> int:
+        return self._total_edge_weight
+
+    def degree(self, u: int) -> int:
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max()) if self.n else 0
+
+    # ------------------------------------------------------------------ #
+    # neighborhood protocol
+    # ------------------------------------------------------------------ #
+    def neighbors(self, u: int) -> np.ndarray:
+        return self.adjncy[self.indptr[u] : self.indptr[u + 1]]
+
+    def edge_weights(self, u: int) -> np.ndarray:
+        return self.adjwgt[self.indptr[u] : self.indptr[u + 1]]
+
+    def neighbors_and_weights(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        return self.adjncy[lo:hi], self.adjwgt[lo:hi]
+
+    def incident_edge_ids(self, u: int) -> np.ndarray:
+        return np.arange(self.indptr[u], self.indptr[u + 1], dtype=np.int64)
+
+    def incident_weight(self, u: int) -> int:
+        """Total weight of edges incident to ``u`` (bounds gain values)."""
+        return int(self.edge_weights(u).sum())
+
+    # ------------------------------------------------------------------ #
+    # memory accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        total = self.indptr.nbytes + self.adjncy.nbytes
+        total += 8 if self._unit_edge_weights else self.adjwgt.nbytes
+        total += 8 if self._unit_vertex_weights else self.vwgt.nbytes
+        return total
+
+    # ------------------------------------------------------------------ #
+    # validation & misc
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check structural invariants: symmetry, no self-loops, weights > 0."""
+        n = self.n
+        src = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
+        if np.any(src == self.adjncy):
+            u = int(src[np.argmax(src == self.adjncy)])
+            raise ValueError(f"self-loop at vertex {u}")
+        # symmetry with matching weights: sort directed edges (u,v,w) and
+        # their reverses (v,u,w); equal multisets <=> symmetric graph.
+        w = np.asarray(self.adjwgt)
+        fwd = np.stack([src, self.adjncy, w], axis=1)
+        rev = np.stack([self.adjncy, src, w], axis=1)
+        fwd_sorted = fwd[np.lexsort((fwd[:, 2], fwd[:, 1], fwd[:, 0]))]
+        rev_sorted = rev[np.lexsort((rev[:, 2], rev[:, 1], rev[:, 0]))]
+        if not np.array_equal(fwd_sorted, rev_sorted):
+            raise ValueError("graph is not symmetric (or weights mismatch)")
+        if w.size and w.min() <= 0:
+            raise ValueError("edge weights must be positive")
+        vw = np.asarray(self.vwgt)
+        if vw.size and vw.min() <= 0:
+            raise ValueError("vertex weights must be positive")
+
+    def with_sorted_neighborhoods(self) -> "CSRGraph":
+        """Return a copy whose neighborhoods are sorted by neighbor ID."""
+        if self.sorted_neighborhoods:
+            return self
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        order = np.lexsort((self.adjncy, src))
+        adjncy = self.adjncy[order]
+        adjwgt = (
+            np.asarray(self.adjwgt)[order] if self.has_edge_weights else None
+        )
+        return CSRGraph(
+            self.indptr.copy(),
+            adjncy,
+            adjwgt,
+            None if not self.has_vertex_weights else np.asarray(self.vwgt).copy(),
+            sorted_neighborhoods=True,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(n={self.n}, m={self.m}, "
+            f"weighted_edges={self.has_edge_weights}, "
+            f"weighted_vertices={self.has_vertex_weights})"
+        )

@@ -1,0 +1,132 @@
+"""VarInt byte codec (Section III-A).
+
+Seven payload bits per byte plus a continuation bit; signed values use an
+extra sign bit in the first byte (the paper stores edge-weight gaps, which
+are not sorted, with a sign bit).  Scalar routines are the reference
+implementation; the ``encode_stream`` / ``decode_stream`` bulk routines are
+the hot path used by the graph codec and operate on numpy arrays with plain
+Python loops kept tight (locals-bound, no attribute lookups) -- the fastest
+portable option without compiled extensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MAX_VARINT64_BYTES = 10
+
+
+def varint_len(value: int) -> int:
+    """Number of bytes :func:`encode_varint` produces for ``value``."""
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    n = 1
+    value >>= 7
+    while value:
+        n += 1
+        value >>= 7
+    return n
+
+
+def encode_varint(value: int, out: bytearray) -> int:
+    """Append the VarInt encoding of ``value`` to ``out``; return byte count."""
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    n = 0
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        n += 1
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return n
+
+
+def decode_varint(buf, pos: int) -> tuple[int, int]:
+    """Decode a VarInt at ``buf[pos:]``; return ``(value, new_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long (corrupt stream?)")
+
+
+def encode_signed_varint(value: int, out: bytearray) -> int:
+    """Append a signed VarInt (sign bit in bit 0 of the first byte)."""
+    # The paper stores "an additional sign bit"; we fold it into the
+    # least-significant bit so small magnitudes stay small either way.
+    zz = ((-value) << 1) | 1 if value < 0 else value << 1
+    return encode_varint(zz, out)
+
+
+def decode_signed_varint(buf, pos: int) -> tuple[int, int]:
+    zz, pos = decode_varint(buf, pos)
+    value = zz >> 1
+    if zz & 1:
+        value = -value
+    return value, pos
+
+
+def encode_stream(values: np.ndarray, out: bytearray) -> int:
+    """Append VarInt encodings of every element of ``values``; return bytes."""
+    total = 0
+    append = out.append
+    for v in values.tolist():
+        if v < 0:
+            raise ValueError(f"varint cannot encode negative value {v}")
+        while True:
+            byte = v & 0x7F
+            v >>= 7
+            total += 1
+            if v:
+                append(byte | 0x80)
+            else:
+                append(byte)
+                break
+    return total
+
+
+def decode_stream(buf, pos: int, count: int) -> tuple[np.ndarray, int]:
+    """Decode ``count`` VarInts starting at ``buf[pos:]``."""
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        result = 0
+        shift = 0
+        while True:
+            byte = buf[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        out[i] = result
+    return out, pos
+
+
+def stream_len(values: np.ndarray) -> int:
+    """Total encoded byte length of ``values`` without materialising bytes.
+
+    Vectorised: a value needs ``ceil(bits/7)`` bytes.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return 0
+    if values.min() < 0:
+        raise ValueError("varint cannot encode negative values")
+    # bit length: values of 0 still need 1 byte
+    safe = np.maximum(values, 1)
+    bits = np.floor(np.log2(safe.astype(np.float64))).astype(np.int64) + 1
+    # correct potential float rounding at powers of two
+    too_low = (np.int64(1) << bits) <= safe
+    bits += too_low
+    too_high = (np.int64(1) << (bits - 1)) > safe
+    bits -= too_high
+    return int(np.sum((bits + 6) // 7))

@@ -1,0 +1,58 @@
+"""Rendering of memory ledgers into the breakdowns shown in the paper.
+
+:func:`render_phase_breakdown` reproduces the layout of Figure 2 (memory per
+phase, per level, split by data-structure category) as an ASCII table;
+:class:`MemoryReport` aggregates tracker state for benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.tracker import MemoryTracker
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024  # type: ignore[assignment]
+    raise AssertionError("unreachable")
+
+
+@dataclass
+class MemoryReport:
+    """Summary of a tracker after a partitioning run."""
+
+    peak_bytes: int
+    peak_breakdown: dict[str, int]
+    phase_peaks: dict[str, int]
+
+    @classmethod
+    def from_tracker(cls, tracker: MemoryTracker) -> "MemoryReport":
+        return cls(
+            peak_bytes=tracker.peak_bytes,
+            peak_breakdown=tracker.peak_breakdown,
+            phase_peaks={p: s.peak_bytes for p, s in tracker.phases().items()},
+        )
+
+    def dominant_category(self) -> str:
+        if not self.peak_breakdown:
+            return "none"
+        return max(self.peak_breakdown.items(), key=lambda kv: kv[1])[0]
+
+
+def render_phase_breakdown(tracker: MemoryTracker, *, max_depth: int = 3) -> str:
+    """Render per-phase peak memory as an indented ASCII tree (Figure 2)."""
+    lines = [f"peak memory: {_fmt_bytes(tracker.peak_bytes)}"]
+    for path in sorted(tracker.phases()):
+        depth = path.count("/")
+        if depth >= max_depth:
+            continue
+        stats = tracker.phases()[path]
+        indent = "  " * depth
+        name = path.rsplit("/", 1)[-1]
+        top = sorted(stats.peak_breakdown.items(), key=lambda kv: -kv[1])[:3]
+        cats = ", ".join(f"{c}={_fmt_bytes(b)}" for c, b in top)
+        lines.append(f"{indent}{name}: peak {_fmt_bytes(stats.peak_bytes)} ({cats})")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Simulated shared-memory parallel runtime.
+
+CPython's GIL rules out real parallel refinement (see DESIGN.md), so this
+package provides a *deterministic simulation* of the paper's TBB runtime:
+
+* :class:`ParallelRuntime` schedules work items over ``p`` virtual threads in
+  chunks, giving every algorithm the same structure it has in the paper --
+  per-thread scratch data really exists once per virtual thread, so the
+  memory ledger reproduces the ``O(n*p)`` vs ``O(n)`` distinction exactly.
+* :mod:`repro.parallel.atomics` emulates the atomic primitives the paper
+  relies on (fetch-add with returned previous value; the double-width
+  compare-and-swap used by one-pass contraction) and counts contended
+  operations so benchmarks can report contention.
+* :mod:`repro.parallel.cost_model` turns per-phase work/span/bytes-moved
+  measurements into modelled speedups for the scaling figures (Fig. 5, 8).
+"""
+
+from repro.parallel.atomics import AtomicArray, AtomicCounter, DualCounter
+from repro.parallel.runtime import ChunkSchedule, ParallelRuntime, WorkStats
+from repro.parallel.cost_model import CostModel, MachineModel, PhaseCost
+
+__all__ = [
+    "AtomicArray",
+    "AtomicCounter",
+    "DualCounter",
+    "ChunkSchedule",
+    "ParallelRuntime",
+    "WorkStats",
+    "CostModel",
+    "MachineModel",
+    "PhaseCost",
+]

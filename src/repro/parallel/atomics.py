@@ -1,0 +1,156 @@
+"""Emulated atomic primitives.
+
+The simulation executes virtual threads one at a time, so plain Python
+updates are already linearizable.  These classes exist to (a) keep the
+algorithms textually faithful to the paper -- two-phase label propagation
+*checks the previous value* of a fetch-add to decide which thread records a
+cluster in its non-zero list (Algorithm 2, line 20), and one-pass contraction
+updates the ``(d, s)`` dual counter with a 128-bit CAS -- and (b) count how
+many atomic operations each phase issues, which feeds the contention term of
+the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AtomicCounter:
+    """A single 64-bit counter with fetch-add semantics."""
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = int(value)
+        self.op_count = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def load(self) -> int:
+        return self._value
+
+    def fetch_add(self, delta: int) -> int:
+        """Add ``delta`` and return the value *before* the addition."""
+        self.op_count += 1
+        prev = self._value
+        self._value += int(delta)
+        return prev
+
+    def store(self, value: int) -> None:
+        self._value = int(value)
+
+    def compare_exchange(self, expected: int, desired: int) -> bool:
+        self.op_count += 1
+        if self._value == expected:
+            self._value = int(desired)
+            return True
+        return False
+
+
+class DualCounter:
+    """The 128-bit ``(d, s)`` pair from one-pass contraction (Section IV-B2).
+
+    ``d`` counts coarse edges already placed in the coarse edge array, ``s``
+    counts coarse vertices already processed.  The paper packs both into one
+    128-bit word and updates them with ``CMPXCHG16B`` in a CAS loop; we model
+    exactly that interface: :meth:`fetch_add` atomically adds to both halves
+    and returns the pre-update pair.
+    """
+
+    def __init__(self, d: int = 0, s: int = 0) -> None:
+        self._packed = (int(s) << 64) | int(d)
+        self.cas_count = 0
+
+    @staticmethod
+    def _pack(d: int, s: int) -> int:
+        if not (0 <= d < (1 << 64)):
+            raise OverflowError(f"d={d} exceeds 64 bits")
+        if not (0 <= s < (1 << 64)):
+            raise OverflowError(f"s={s} exceeds 64 bits")
+        return (s << 64) | d
+
+    @staticmethod
+    def _unpack(packed: int) -> tuple[int, int]:
+        return packed & ((1 << 64) - 1), packed >> 64
+
+    @property
+    def d(self) -> int:
+        return self._unpack(self._packed)[0]
+
+    @property
+    def s(self) -> int:
+        return self._unpack(self._packed)[1]
+
+    def fetch_add(self, delta_d: int, delta_s: int) -> tuple[int, int]:
+        """CAS-loop transaction: returns ``(d_prev, s_prev)``.
+
+        The loop body mirrors the paper: extract, update, repack, CAS.  In
+        the simulation the CAS succeeds on the first try (no true
+        concurrency), but the op count still records one CAS per call so the
+        cost model can charge contention.
+        """
+        while True:
+            observed = self._packed
+            d_prev, s_prev = self._unpack(observed)
+            desired = self._pack(d_prev + delta_d, s_prev + delta_s)
+            self.cas_count += 1
+            if self._packed == observed:
+                self._packed = desired
+                return d_prev, s_prev
+
+
+class AtomicArray:
+    """An int64 array supporting per-slot fetch-add (the sparse array ``A``).
+
+    Backed by numpy; exposes both scalar fetch-add (faithful to Algorithm 2)
+    and a bulk variant used by the hash-table flush, which applies a batch of
+    (index, delta) pairs and reports which slots rose from zero -- the
+    condition under which a thread appends the cluster to its local non-zero
+    list ``L_t``.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        if data.dtype != np.int64:
+            raise TypeError(f"AtomicArray requires int64, got {data.dtype}")
+        self._data = data
+        self.op_count = 0
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def load(self, idx: int) -> int:
+        return int(self._data[idx])
+
+    def fetch_add(self, idx: int, delta: int) -> int:
+        self.op_count += 1
+        prev = int(self._data[idx])
+        self._data[idx] = prev + delta
+        return prev
+
+    def bulk_fetch_add(
+        self, indices: np.ndarray, deltas: np.ndarray
+    ) -> np.ndarray:
+        """Apply ``A[indices] += deltas``; return mask of slots that were 0.
+
+        Duplicate indices within one batch are handled sequentially (as the
+        individual atomic adds would be): only the *first* add that raises a
+        slot from zero reports True for that slot.
+        """
+        self.op_count += len(indices)
+        was_zero = np.zeros(len(indices), dtype=bool)
+        # np.add.at handles duplicates; we need per-op previous values only
+        # to detect zero-crossings, so detect duplicates first.
+        if len(indices) == 0:
+            return was_zero
+        unique, first_pos = np.unique(indices, return_index=True)
+        zero_before = self._data[unique] == 0
+        np.add.at(self._data, indices, deltas)
+        was_zero[first_pos[zero_before]] = True
+        return was_zero
+
+    def reset(self, indices: np.ndarray) -> None:
+        self._data[indices] = 0

@@ -1,0 +1,115 @@
+"""Shared fixtures: small graphs of every family used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+
+
+@pytest.fixture
+def tiny_graph():
+    """A hand-checkable 6-vertex graph: two triangles joined by one edge."""
+    edges = np.array(
+        [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5], [2, 3]], dtype=np.int64
+    )
+    return from_edges(6, edges)
+
+
+@pytest.fixture
+def weighted_graph():
+    edges = np.array([[0, 1], [1, 2], [2, 3], [3, 0], [0, 2]], dtype=np.int64)
+    weights = np.array([5, 1, 5, 1, 10], dtype=np.int64)
+    return from_edges(4, edges, weights)
+
+
+@pytest.fixture
+def grid_graph():
+    return gen.grid2d(12, 12)
+
+
+@pytest.fixture
+def web_graph():
+    return gen.weblike(800, avg_degree=12, seed=7)
+
+
+@pytest.fixture
+def rgg_graph():
+    return gen.rgg2d(600, avg_degree=8, seed=11)
+
+
+@pytest.fixture
+def rhg_graph():
+    return gen.rhg(600, avg_degree=8, gamma=3.0, seed=13)
+
+
+@pytest.fixture
+def kmer_graph():
+    return gen.kmer(500, degree=4, seed=17)
+
+
+@pytest.fixture
+def text_graph():
+    return gen.textlike(400, seed=19)
+
+
+@pytest.fixture(
+    params=["grid", "web", "rgg", "kmer", "text"],
+)
+def family_graph(request, grid_graph, web_graph, rgg_graph, kmer_graph, text_graph):
+    """Parametrized across structurally different families."""
+    return {
+        "grid": grid_graph,
+        "web": web_graph,
+        "rgg": rgg_graph,
+        "kmer": kmer_graph,
+        "text": text_graph,
+    }[request.param]
+
+
+def graphs_equal(a, b) -> bool:
+    """Structural equality of two graphs via the neighborhood protocol."""
+    if a.n != b.n or a.m != b.m:
+        return False
+    for u in range(a.n):
+        na, wa = a.neighbors_and_weights(u)
+        nb, wb = b.neighbors_and_weights(u)
+        oa = np.argsort(np.asarray(na), kind="stable")
+        ob = np.argsort(np.asarray(nb), kind="stable")
+        if not np.array_equal(np.asarray(na)[oa], np.asarray(nb)[ob]):
+            return False
+        if not np.array_equal(np.asarray(wa)[oa], np.asarray(wb)[ob]):
+            return False
+    if not np.array_equal(np.asarray(a.vwgt), np.asarray(b.vwgt)):
+        return False
+    return True
+
+
+def canonical_graph_signature(g) -> bytes:
+    """Isomorphism-invariant-ish signature under vertex relabeling by
+    (sorted weighted degree sequence + sorted edge multiset after canonical
+    relabel).  Used to compare contraction variants that relabel vertices:
+    we relabel both graphs by sorting vertices on (vertex weight, weighted
+    degree, neighbor multiset hash) -- sufficient for the deterministic test
+    graphs used here.
+    """
+    import hashlib
+
+    n = g.n
+    rows = []
+    for u in range(n):
+        nbrs, wgts = g.neighbors_and_weights(u)
+        o = np.argsort(np.asarray(nbrs), kind="stable")
+        rows.append(
+            (
+                int(g.vwgt[u]),
+                int(np.asarray(wgts).sum()),
+                len(nbrs),
+            )
+        )
+    h = hashlib.sha256()
+    for r in sorted(rows):
+        h.update(repr(r).encode())
+    return h.digest()

@@ -1,0 +1,109 @@
+"""Unit tests for emulated atomics (repro.parallel.atomics)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.atomics import AtomicArray, AtomicCounter, DualCounter
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        c = AtomicCounter(10)
+        assert c.fetch_add(5) == 10
+        assert c.value == 15
+
+    def test_op_count(self):
+        c = AtomicCounter()
+        for _ in range(7):
+            c.fetch_add(1)
+        assert c.op_count == 7
+
+    def test_compare_exchange(self):
+        c = AtomicCounter(3)
+        assert c.compare_exchange(3, 9)
+        assert not c.compare_exchange(3, 11)
+        assert c.value == 9
+
+
+class TestDualCounter:
+    def test_fetch_add_returns_pair_before(self):
+        dc = DualCounter()
+        assert dc.fetch_add(10, 2) == (0, 0)
+        assert dc.fetch_add(5, 1) == (10, 2)
+        assert (dc.d, dc.s) == (15, 3)
+
+    def test_pack_unpack_roundtrip(self):
+        dc = DualCounter(d=123456789, s=987654321)
+        assert dc.d == 123456789
+        assert dc.s == 987654321
+
+    def test_large_values_fit_64_bits(self):
+        dc = DualCounter()
+        big = (1 << 63) - 1
+        dc.fetch_add(big, big)
+        assert dc.d == big
+        assert dc.s == big
+
+    def test_overflow_rejected(self):
+        dc = DualCounter(d=(1 << 64) - 1)
+        with pytest.raises(OverflowError):
+            dc.fetch_add(1, 0)
+
+    def test_cas_count_one_per_transaction(self):
+        dc = DualCounter()
+        for _ in range(5):
+            dc.fetch_add(1, 1)
+        assert dc.cas_count == 5
+
+    def test_halves_independent(self):
+        dc = DualCounter()
+        dc.fetch_add(7, 0)
+        dc.fetch_add(0, 3)
+        assert (dc.d, dc.s) == (7, 3)
+
+
+class TestAtomicArray:
+    def test_requires_int64(self):
+        with pytest.raises(TypeError):
+            AtomicArray(np.zeros(4, dtype=np.int32))
+
+    def test_fetch_add_returns_previous(self):
+        a = AtomicArray(np.zeros(4, dtype=np.int64))
+        assert a.fetch_add(2, 5) == 0
+        assert a.fetch_add(2, 3) == 5
+        assert a.load(2) == 8
+
+    def test_bulk_fetch_add_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 50, size=200)
+        deltas = rng.integers(1, 10, size=200)
+        bulk = AtomicArray(np.zeros(50, dtype=np.int64))
+        scalar = AtomicArray(np.zeros(50, dtype=np.int64))
+        bulk_zero = bulk.bulk_fetch_add(idx, deltas)
+        scalar_zero = np.zeros(200, dtype=bool)
+        for i, (j, d) in enumerate(zip(idx.tolist(), deltas.tolist())):
+            scalar_zero[i] = scalar.fetch_add(j, d) == 0
+        assert np.array_equal(bulk.data, scalar.data)
+        # first-writer-tracks semantics: same *set* of tracked slots
+        assert set(idx[bulk_zero].tolist()) == set(idx[scalar_zero].tolist())
+        # and each slot tracked exactly once
+        assert len(idx[bulk_zero]) == len(set(idx[bulk_zero].tolist()))
+
+    def test_bulk_fetch_add_empty(self):
+        a = AtomicArray(np.zeros(4, dtype=np.int64))
+        out = a.bulk_fetch_add(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert len(out) == 0
+
+    def test_bulk_duplicate_indices_tracked_once(self):
+        a = AtomicArray(np.zeros(4, dtype=np.int64))
+        idx = np.array([1, 1, 1], dtype=np.int64)
+        deltas = np.array([2, 3, 4], dtype=np.int64)
+        was_zero = a.bulk_fetch_add(idx, deltas)
+        assert a.load(1) == 9
+        assert was_zero.sum() == 1
+        assert was_zero[0]  # the first occurrence is the tracker
+
+    def test_reset(self):
+        a = AtomicArray(np.arange(5, dtype=np.int64))
+        a.reset(np.array([1, 3]))
+        assert a.data.tolist() == [0, 0, 2, 0, 4]

@@ -1,0 +1,153 @@
+"""Tests for the benchmark harness (instances, aggregation, profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    RunRecord,
+    aggregate,
+    geometric_mean,
+    harmonic_mean,
+    relative_to,
+    run_matrix,
+)
+from repro.bench.instances import SEM_GRAPHS, SET_A, SET_B, Instance, load_instance
+from repro.bench.profiles import performance_profile, profile_summary
+from repro.bench.reporting import fmt_bytes, render_series, render_table, render_waterfall
+
+
+class TestInstances:
+    def test_all_instances_buildable(self):
+        for inst in (*SET_A, *SET_B, *SEM_GRAPHS):
+            g = inst.make()
+            assert g.n > 0 and g.m > 0
+
+    def test_load_instance_cached(self):
+        a = load_instance("fem-grid")
+        b = load_instance("fem-grid")
+        assert a is b
+
+    def test_unknown_instance(self):
+        with pytest.raises(KeyError):
+            load_instance("nope")
+
+    def test_set_b_graphs_are_weblike(self):
+        for inst in SET_B:
+            g = inst.make()
+            assert g.max_degree > 5 * g.degrees.mean()
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([5]) == pytest.approx(5.0)
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+        assert harmonic_mean([]) == 0.0
+
+    def test_zero_values_skipped(self):
+        assert geometric_mean([0, 10]) == pytest.approx(10.0)
+
+
+def _rec(alg, inst, k, seed, cut, **kw):
+    defaults = dict(
+        balanced=True,
+        imbalance=0.0,
+        wall_seconds=1.0,
+        modeled_seconds=1.0,
+        peak_bytes=100,
+    )
+    defaults.update(kw)
+    return RunRecord(alg, inst, k, seed, cut, **defaults)
+
+
+class TestAggregation:
+    def test_mean_over_seeds(self):
+        records = [
+            _rec("a", "g1", 4, 0, 10),
+            _rec("a", "g1", 4, 1, 20),
+            _rec("a", "g2", 4, 0, 5),
+        ]
+        agg = aggregate(records, "cut")
+        assert agg[("a", "g1", 4)] == 15.0
+        assert agg[("a", "g2", 4)] == 5.0
+
+    def test_relative_to_baseline(self):
+        agg = {
+            ("base", "g1", 4): 10.0,
+            ("base", "g2", 4): 100.0,
+            ("x", "g1", 4): 20.0,
+            ("x", "g2", 4): 50.0,
+        }
+        rel = relative_to(agg, "base")
+        assert rel["base"] == pytest.approx(1.0)
+        assert rel["x"] == pytest.approx(1.0)  # geo mean of 2.0 and 0.5
+
+    def test_run_matrix_covers_product(self):
+        calls = []
+
+        def runner(cfg, inst, k, seed):
+            calls.append((cfg.name, inst.name, k, seed))
+            return _rec(cfg.name, inst.name, k, seed, 1)
+
+        from repro.core import config as C
+
+        insts = [SET_A[0], SET_A[1]]
+        run_matrix([C.terapart()], insts, [2, 4], [0, 1], runner=runner)
+        assert len(calls) == 8
+
+
+class TestPerformanceProfiles:
+    def test_best_algorithm_fraction(self):
+        cuts = {
+            "a": {"g1": 10.0, "g2": 10.0},
+            "b": {"g1": 20.0, "g2": 5.0},
+        }
+        taus, profiles = performance_profile(cuts)
+        assert profiles["a"][0] == pytest.approx(0.5)
+        assert profiles["b"][0] == pytest.approx(0.5)
+        # at tau=2 both cover everything
+        assert profiles["a"][-1] == pytest.approx(1.0)
+        assert profiles["b"][-1] == pytest.approx(1.0)
+
+    def test_missing_instances_never_covered(self):
+        cuts = {"a": {"g1": 10.0, "g2": 10.0}, "b": {"g1": 10.0}}
+        taus, profiles = performance_profile(cuts)
+        assert profiles["b"][-1] == pytest.approx(0.5)
+
+    def test_zero_cuts_handled(self):
+        cuts = {"a": {"g1": 0.0}, "b": {"g1": 5.0}}
+        taus, profiles = performance_profile(cuts)
+        assert profiles["a"][0] == pytest.approx(1.0)
+
+    def test_summary_fields(self):
+        cuts = {"a": {"g1": 10.0}, "b": {"g1": 10.5}}
+        taus, profiles = performance_profile(cuts)
+        s = profile_summary(taus, profiles)
+        assert s["a"]["best"] == 1.0
+        assert s["b"]["within_1.05"] == 1.0
+        assert 0 < s["b"]["auc"] <= 1.0
+
+
+class TestReporting:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [(1, 2.5), (3, 4.0)], title="t")
+        assert "t" in out and "bb" in out and "2.50" in out
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.00 KiB"
+        assert "GiB" in fmt_bytes(3 * 1024**3)
+
+    def test_render_series(self):
+        out = render_series("s", [1, 2], [0.5, 1.5])
+        assert "1: 0.50" in out
+
+    def test_render_waterfall(self):
+        out = render_waterfall([("a", 100.0), ("b", 50.0)])
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert render_waterfall([]) == "(empty)"

@@ -1,0 +1,111 @@
+"""Unit tests for the edge-list -> CSR builder."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder, from_edges
+
+
+class TestFromEdges:
+    def test_symmetrizes(self):
+        g = from_edges(3, np.array([[0, 1], [1, 2]]))
+        g.validate()
+        assert g.m == 2
+        assert 0 in g.neighbors(1).tolist()
+        assert 2 in g.neighbors(1).tolist()
+
+    def test_drops_self_loops(self):
+        g = from_edges(3, np.array([[0, 0], [0, 1], [2, 2]]))
+        assert g.m == 1
+
+    def test_deduplicates_parallel_edges(self):
+        g = from_edges(2, np.array([[0, 1], [0, 1], [1, 0]]))
+        assert g.m == 1
+
+    def test_symmetric_input_not_double_counted(self):
+        """An input listing both directions is one undirected edge."""
+        g = from_edges(2, np.array([[0, 1], [1, 0]]), np.array([7, 7]))
+        assert g.m == 1
+        assert int(np.asarray(g.edge_weights(0))[0]) == 7
+
+    def test_union_semantics_takes_max_weight(self):
+        g = from_edges(2, np.array([[0, 1], [1, 0]]), np.array([3, 9]))
+        assert int(np.asarray(g.edge_weights(0))[0]) == 9
+
+    def test_neighborhoods_sorted(self):
+        rng = np.random.default_rng(5)
+        edges = rng.integers(0, 40, size=(300, 2))
+        g = from_edges(40, edges)
+        assert g.sorted_neighborhoods
+        for u in range(g.n):
+            assert np.all(np.diff(g.neighbors(u)) > 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_edges(2, np.array([[0, 2]]))
+        with pytest.raises(ValueError):
+            from_edges(2, np.array([[-1, 0]]))
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            from_edges(2, np.array([[0, 1]]), np.array([0]))
+
+    def test_empty_edge_list(self):
+        g = from_edges(5, np.zeros((0, 2), dtype=np.int64))
+        assert g.n == 5
+        assert g.m == 0
+
+    def test_vertex_weights_pass_through(self):
+        vw = np.array([2, 3, 4], dtype=np.int64)
+        g = from_edges(3, np.array([[0, 1]]), vwgt=vw)
+        assert g.total_vertex_weight == 9
+
+    def test_no_symmetrize_keeps_directed_list(self):
+        # caller-provided symmetric list with per-direction dedup (sums)
+        edges = np.array([[0, 1], [1, 0], [0, 1], [1, 0]])
+        w = np.array([2, 2, 3, 3])
+        g = from_edges(2, edges, w, symmetrize=False)
+        g.validate()
+        assert g.m == 1
+        assert int(np.asarray(g.edge_weights(0))[0]) == 5
+
+    def test_unweighted_result_uses_unit_view(self):
+        g = from_edges(3, np.array([[0, 1], [1, 2]]))
+        assert not g.has_edge_weights
+
+
+class TestGraphBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder(4)
+        b.add_edge(0, 1)
+        b.add_edge(1, 2, w=5)
+        b.add_edges(np.array([[2, 3]]))
+        g = b.build()
+        g.validate()
+        assert g.m == 3
+        assert b.num_pending_edges == 3
+
+    def test_rejects_out_of_range(self):
+        b = GraphBuilder(2)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 5)
+
+    def test_vertex_weights(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.set_vertex_weights(np.array([1, 2, 3]))
+        g = b.build()
+        assert g.total_vertex_weight == 6
+
+    def test_vertex_weight_length_checked(self):
+        b = GraphBuilder(3)
+        with pytest.raises(ValueError):
+            b.set_vertex_weights(np.array([1, 2]))
+
+    def test_empty_builder(self):
+        g = GraphBuilder(3).build()
+        assert g.n == 3 and g.m == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-1)

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph import generators as gen
+from repro.graph.io import write_binary, write_metis
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = gen.rgg2d(500, 8.0, seed=1)
+    path = tmp_path / "g.bin"
+    write_binary(g, path)
+    return path, g
+
+
+class TestPartitionCommand:
+    def test_writes_partition_file(self, graph_file, capsys):
+        path, g = graph_file
+        out = path.parent / "g.part"
+        rc = main(
+            ["partition", str(path), "-k", "4", "--out", str(out), "--seed", "1"]
+        )
+        assert rc == 0
+        part = np.loadtxt(out, dtype=int)
+        assert len(part) == g.n
+        assert set(np.unique(part)) <= set(range(4))
+        captured = capsys.readouterr().out
+        assert "cut:" in captured and "balanced: True" in captured
+
+    def test_default_output_name(self, graph_file):
+        path, g = graph_file
+        main(["partition", str(path), "-k", "2"])
+        assert (path.parent / "g.bin.part2").exists()
+
+    def test_stream_compress_flag(self, graph_file, capsys):
+        path, g = graph_file
+        rc = main(["partition", str(path), "-k", "4", "--stream-compress"])
+        assert rc == 0
+
+    def test_preset_selection(self, graph_file):
+        path, _ = graph_file
+        rc = main(["partition", str(path), "-k", "2", "--preset", "kaminpar"])
+        assert rc == 0
+
+    def test_metis_input(self, tmp_path):
+        g = gen.grid2d(10, 10)
+        path = tmp_path / "g.metis"
+        write_metis(g, path)
+        rc = main(["partition", str(path), "-k", "2"])
+        assert rc == 0
+
+
+class TestCompressCommand:
+    def test_reports_ratios(self, graph_file, capsys):
+        path, _ = graph_file
+        rc = main(["compress", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "intervals" in out
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("family", ["rgg2d", "weblike", "kmer", "ba", "er"])
+    def test_generates_valid_file(self, tmp_path, family, capsys):
+        out = tmp_path / "out.bin"
+        rc = main(
+            ["generate", "--family", family, "--n", "300", "--out", str(out)]
+        )
+        assert rc == 0
+        from repro.graph.io import read_binary
+
+        g = read_binary(out)
+        g.validate()
+        assert g.n == 300
+
+
+class TestStatsCommand:
+    def test_prints_stats(self, graph_file, capsys):
+        path, _ = graph_file
+        rc = main(["stats", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "n=" in out and "interval edge fraction" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_k_rejected(self, graph_file):
+        path, _ = graph_file
+        with pytest.raises(SystemExit):
+            main(["partition", str(path)])
+
+
+class TestPortfolioAndMetricsFlags:
+    def test_seeds_flag(self, graph_file, capsys):
+        path, _ = graph_file
+        rc = main(["partition", str(path), "-k", "4", "--seeds", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "portfolio" in out and "best of 2 seeds" in out
+
+    def test_metrics_flag(self, graph_file, capsys):
+        path, _ = graph_file
+        rc = main(["partition", str(path), "-k", "4", "--metrics"])
+        assert rc == 0
+        assert "comm" in capsys.readouterr().out.replace("cv=", "comm")

@@ -1,0 +1,112 @@
+"""Tests for the coarsening level loop (repro.core.coarsening.coarsener)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CoarseningConfig, terapart
+from repro.core.context import PartitionContext
+from repro.core.coarsening.coarsener import coarsen_hierarchy
+from repro.graph import generators as gen
+from repro.graph.compressed import compress_graph
+from repro.memory import MemoryTracker
+
+
+def make_ctx(graph, k=4, **coarsening_overrides):
+    cfg = terapart(seed=5)
+    if coarsening_overrides:
+        cfg = cfg.with_(coarsening=CoarseningConfig(**coarsening_overrides))
+    return PartitionContext(
+        config=cfg,
+        k=k,
+        total_vertex_weight=graph.total_vertex_weight,
+        tracker=MemoryTracker(),
+    )
+
+
+class TestHierarchy:
+    def test_shrinks_monotonically(self):
+        g = gen.grid2d(40, 40)
+        ctx = make_ctx(g)
+        levels = coarsen_hierarchy(g, ctx)
+        assert len(levels) >= 1
+        ns = [g.n] + [l.graph.n for l in levels]
+        assert all(b < a for a, b in zip(ns, ns[1:]))
+
+    def test_stops_at_contraction_limit(self):
+        g = gen.grid2d(40, 40)
+        ctx = make_ctx(g, k=4)
+        levels = coarsen_hierarchy(g, ctx)
+        # it never coarsens a graph already below the limit
+        limit = ctx.contraction_limit()
+        for before, lvl in zip([g] + [l.graph for l in levels], levels):
+            assert before.n > limit
+
+    def test_total_weight_invariant(self):
+        g = gen.weblike(1200, 12.0, seed=3)
+        ctx = make_ctx(g)
+        levels = coarsen_hierarchy(g, ctx)
+        for lvl in levels:
+            assert lvl.graph.total_vertex_weight == g.total_vertex_weight
+
+    def test_fine_to_coarse_maps_compose(self):
+        g = gen.rgg2d(1000, 8.0, seed=4)
+        ctx = make_ctx(g)
+        levels = coarsen_hierarchy(g, ctx)
+        mapping = np.arange(g.n, dtype=np.int64)
+        for lvl in levels:
+            mapping = lvl.fine_to_coarse[mapping]
+        assert mapping.min() >= 0
+        assert mapping.max() < levels[-1].graph.n
+
+    def test_coarse_cut_upper_bounds_projected_cut(self):
+        """Any partition of a coarse level projects to the same cut on the
+        finer level (contraction preserves inter-cluster edge weights)."""
+        from repro.core.partition import PartitionedGraph
+
+        g = gen.grid2d(30, 30)
+        ctx = make_ctx(g)
+        levels = coarsen_hierarchy(g, ctx)
+        coarse = levels[0].graph
+        rng = np.random.default_rng(0)
+        cpart = rng.integers(0, 3, size=coarse.n).astype(np.int32)
+        fpart = cpart[levels[0].fine_to_coarse]
+        cut_c = PartitionedGraph(coarse, 3, cpart).cut_weight()
+        cut_f = PartitionedGraph(g, 3, fpart).cut_weight()
+        assert cut_c == cut_f
+
+    def test_respects_max_levels(self):
+        g = gen.grid2d(40, 40)
+        ctx = make_ctx(g, max_levels=1)
+        levels = coarsen_hierarchy(g, ctx)
+        assert len(levels) <= 1
+
+    def test_compressed_input_supported(self):
+        g = gen.weblike(1000, 12.0, seed=6)
+        cg = compress_graph(g)
+        ctx_a = make_ctx(g)
+        ctx_b = make_ctx(g)
+        la = coarsen_hierarchy(g, ctx_a)
+        lb = coarsen_hierarchy(cg, ctx_b)
+        assert [l.graph.n for l in la] == [l.graph.n for l in lb]
+        assert [l.graph.m for l in la] == [l.graph.m for l in lb]
+
+    def test_small_graph_no_levels(self):
+        g = gen.grid2d(5, 5)
+        ctx = make_ctx(g, k=4)  # limit = 128 > 25
+        assert coarsen_hierarchy(g, ctx) == []
+
+    def test_memory_freed_with_hierarchy(self):
+        g = gen.grid2d(30, 30)
+        ctx = make_ctx(g)
+        levels = coarsen_hierarchy(g, ctx)
+        for lvl in levels:
+            ctx.tracker.free(lvl.graph_aid)
+        ctx.tracker.assert_empty()
+
+    def test_stats_recorded(self):
+        g = gen.grid2d(40, 40)
+        ctx = make_ctx(g)
+        levels = coarsen_hierarchy(g, ctx)
+        for lvl in levels:
+            assert lvl.stats["shrink"] > 1.0
+            assert lvl.stats["n"] == lvl.graph.n

@@ -1,0 +1,187 @@
+"""Unit + property tests for the compressed graph representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from repro.graph.compressed import (
+    CompressionConfig,
+    compress_graph,
+    decompress_graph,
+    split_intervals,
+)
+
+from conftest import graphs_equal
+
+
+class TestSplitIntervals:
+    def test_detects_runs(self):
+        nbrs = np.array([1, 2, 3, 7, 10, 11, 12, 13, 20])
+        intervals, residuals = split_intervals(nbrs)
+        assert intervals == [(1, 3), (10, 4)]
+        assert residuals.tolist() == [7, 20]
+
+    def test_short_runs_stay_residual(self):
+        nbrs = np.array([1, 2, 5, 6, 9])
+        intervals, residuals = split_intervals(nbrs)
+        assert intervals == []
+        assert residuals.tolist() == [1, 2, 5, 6, 9]
+
+    def test_whole_range_is_one_interval(self):
+        nbrs = np.arange(10, 20)
+        intervals, residuals = split_intervals(nbrs)
+        assert intervals == [(10, 10)]
+        assert len(residuals) == 0
+
+    def test_empty(self):
+        intervals, residuals = split_intervals(np.empty(0, dtype=np.int64))
+        assert intervals == [] and len(residuals) == 0
+
+    def test_custom_min_len(self):
+        nbrs = np.array([1, 2, 5, 6])
+        intervals, _ = split_intervals(nbrs, min_len=2)
+        assert intervals == [(1, 2), (5, 2)]
+
+
+class TestRoundTrip:
+    def test_families_roundtrip(self, family_graph):
+        cg = compress_graph(family_graph)
+        assert graphs_equal(decompress_graph(cg), family_graph)
+
+    def test_roundtrip_without_intervals(self, family_graph):
+        cg = compress_graph(family_graph, enable_intervals=False)
+        assert graphs_equal(decompress_graph(cg), family_graph)
+
+    def test_weighted_roundtrip(self, text_graph):
+        assert text_graph.has_edge_weights
+        cg = compress_graph(text_graph)
+        assert cg.has_edge_weights
+        assert graphs_equal(decompress_graph(cg), text_graph)
+
+    def test_vertex_weights_preserved(self):
+        g = from_edges(
+            3, np.array([[0, 1], [1, 2]]), vwgt=np.array([5, 6, 7])
+        )
+        cg = compress_graph(g)
+        assert cg.total_vertex_weight == 18
+        assert np.array_equal(np.asarray(cg.vwgt), [5, 6, 7])
+
+    def test_empty_graph(self):
+        g = from_edges(4, np.zeros((0, 2), dtype=np.int64))
+        cg = compress_graph(g)
+        assert cg.n == 4 and cg.m == 0
+        assert len(cg.neighbors(0)) == 0
+
+    def test_isolated_vertices(self):
+        g = from_edges(5, np.array([[0, 4]]))
+        cg = compress_graph(g)
+        for u in (1, 2, 3):
+            assert cg.degree(u) == 0
+            assert len(cg.neighbors(u)) == 0
+
+
+class TestProtocol:
+    def test_degrees_match(self, web_graph):
+        cg = compress_graph(web_graph)
+        assert np.array_equal(cg.degrees, web_graph.degrees)
+        for u in range(0, web_graph.n, 37):
+            assert cg.degree(u) == web_graph.degree(u)
+
+    def test_first_edge_ids_match_indptr(self, grid_graph):
+        cg = compress_graph(grid_graph)
+        for u in range(grid_graph.n):
+            assert cg.first_edge_id(u) == int(grid_graph.indptr[u])
+        assert cg.first_edge_id(grid_graph.n) == grid_graph.num_directed_edges
+
+    def test_incident_edge_ids(self, grid_graph):
+        cg = compress_graph(grid_graph)
+        u = grid_graph.n // 2
+        assert np.array_equal(
+            cg.incident_edge_ids(u), grid_graph.incident_edge_ids(u)
+        )
+
+    def test_totals_preserved(self, text_graph):
+        cg = compress_graph(text_graph)
+        assert cg.total_edge_weight == text_graph.total_edge_weight
+        assert cg.total_vertex_weight == text_graph.total_vertex_weight
+        assert cg.m == text_graph.m
+
+
+class TestChunking:
+    def test_high_degree_chunked_roundtrip(self):
+        g = gen.star(5000)
+        cg = compress_graph(g, high_degree_threshold=1000, chunk_length=100)
+        assert cg.stats.num_chunked_vertices == 1
+        assert graphs_equal(decompress_graph(cg), g)
+
+    def test_chunk_boundary_exact_multiple(self):
+        g = gen.star(1001)  # hub degree exactly 1000
+        cg = compress_graph(g, high_degree_threshold=500, chunk_length=250)
+        assert graphs_equal(decompress_graph(cg), g)
+
+    def test_weighted_high_degree(self):
+        n = 3000
+        edges = np.stack(
+            [np.zeros(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)],
+            axis=1,
+        )
+        w = (np.arange(1, n) % 97 + 1).astype(np.int64)
+        g = from_edges(n, edges, w)
+        cg = compress_graph(g, high_degree_threshold=512, chunk_length=128)
+        assert graphs_equal(decompress_graph(cg), g)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(chunk_length=0)
+        with pytest.raises(ValueError):
+            CompressionConfig(high_degree_threshold=10, chunk_length=100)
+
+
+class TestCompressionQuality:
+    def test_weblike_beats_kmer(self):
+        """Locality drives ratios: web >> kmer (Fig. 10's family spread)."""
+        web = gen.weblike(4000, avg_degree=20, seed=1)
+        km = gen.kmer(4000, degree=4, seed=1)
+        r_web = compress_graph(web).stats.ratio
+        r_kmer = compress_graph(km).stats.ratio
+        assert r_web > 1.5 * r_kmer
+
+    def test_intervals_help_weblike(self):
+        """Interval encoding is crucial on web graphs (Fig. 6 right)."""
+        web = gen.weblike(4000, avg_degree=20, seed=2)
+        with_iv = compress_graph(web).stats
+        without = compress_graph(web, enable_intervals=False).stats
+        assert with_iv.compressed_bytes < without.compressed_bytes
+        assert with_iv.num_intervals > 0
+
+    def test_compressed_smaller_than_csr(self, family_graph):
+        cg = compress_graph(family_graph)
+        assert cg.nbytes < family_graph.nbytes
+
+    def test_stats_consistency(self, web_graph):
+        st_ = compress_graph(web_graph).stats
+        assert st_.num_neighborhoods == web_graph.n
+        assert st_.compressed_bytes > 0
+        assert st_.ratio > 1.0
+
+
+class TestPropertyRoundTrip:
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31),
+        density=st.floats(min_value=0.0, max_value=0.5),
+        weighted=st.booleans(),
+        intervals=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_graph_roundtrip(self, n, seed, density, weighted, intervals):
+        rng = np.random.default_rng(seed)
+        e = max(1, int(n * n * density / 2))
+        edges = rng.integers(0, n, size=(e, 2))
+        weights = rng.integers(1, 1000, size=e) if weighted else None
+        g = from_edges(n, edges, weights)
+        cg = compress_graph(g, enable_intervals=intervals)
+        assert graphs_equal(decompress_graph(cg), g)

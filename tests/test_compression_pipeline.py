@@ -1,0 +1,92 @@
+"""Tests for the parallel single-pass compression pipeline (Section III-B)."""
+
+import numpy as np
+
+from repro.graph import generators as gen
+from repro.graph.compressed import compress_graph
+from repro.graph.compression import (
+    compress_graph_parallel,
+    compressed_size_upper_bound,
+    io_time_model,
+)
+from repro.memory import MemoryTracker
+from repro.parallel import ParallelRuntime
+
+
+class TestByteIdentical:
+    def test_matches_sequential_output(self, family_graph):
+        rt = ParallelRuntime(8, chunk_size=32)
+        cgp, _ = compress_graph_parallel(family_graph, rt)
+        cgs = compress_graph(family_graph)
+        assert cgp.data == cgs.data
+        assert np.array_equal(cgp.offsets, cgs.offsets)
+
+    def test_independent_of_thread_count(self, web_graph):
+        outs = []
+        for p in (1, 3, 16):
+            rt = ParallelRuntime(p, chunk_size=50)
+            cg, _ = compress_graph_parallel(web_graph, rt)
+            outs.append(cg.data)
+        assert outs[0] == outs[1] == outs[2]
+
+
+class TestOrderedWriter:
+    def test_claims_are_contiguous_and_ordered(self, web_graph):
+        rt = ParallelRuntime(4, chunk_size=64)
+        _, traces = compress_graph_parallel(web_graph, rt)
+        pos = 0
+        for t in traces:
+            assert t.claim_position == pos
+            pos += t.buffer_bytes
+
+    def test_packets_balance_edges(self, web_graph):
+        rt = ParallelRuntime(4, chunk_size=64)
+        _, traces = compress_graph_parallel(web_graph, rt)
+        if len(traces) >= 4:
+            # balanced packets: no single packet holds most of the bytes
+            total = sum(t.buffer_bytes for t in traces)
+            assert max(t.buffer_bytes for t in traces) < 0.8 * total
+
+
+class TestOvercommitAccounting:
+    def test_peak_well_below_upper_bound(self, web_graph):
+        tracker = MemoryTracker()
+        rt = ParallelRuntime(4, chunk_size=64)
+        cg, _ = compress_graph_parallel(web_graph, rt, tracker=tracker)
+        bound = compressed_size_upper_bound(
+            web_graph.degrees, web_graph.has_edge_weights
+        )
+        assert tracker.peak_bytes < bound / 3
+        tracker.assert_empty(ignore_categories=("graph",))
+
+    def test_final_allocation_matches_graph(self, grid_graph):
+        tracker = MemoryTracker()
+        rt = ParallelRuntime(2)
+        cg, _ = compress_graph_parallel(grid_graph, rt, tracker=tracker)
+        assert tracker.current_bytes == cg.nbytes
+
+    def test_upper_bound_is_actually_an_upper_bound(self, family_graph):
+        cg = compress_graph(family_graph)
+        bound = compressed_size_upper_bound(
+            family_graph.degrees, family_graph.has_edge_weights
+        )
+        assert len(cg.data) <= bound
+
+
+class TestIOTimeModel:
+    def test_sequential_compression_dominates(self):
+        """eu-2015 story: 1 core compressing is ~5x slower than plain I/O."""
+        nbytes = 640e9
+        t_plain = io_time_model(nbytes, 1, compress=False)
+        t_comp = io_time_model(nbytes, 1, compress=True)
+        assert t_comp > 3 * t_plain
+
+    def test_parallel_compression_hides_behind_disk(self):
+        nbytes = 640e9
+        t_plain = io_time_model(nbytes, 96, compress=False)
+        t_comp = io_time_model(nbytes, 96, compress=True)
+        assert t_comp < 1.1 * t_plain
+
+    def test_monotone_in_cores(self):
+        times = [io_time_model(1e12, p, compress=True) for p in (1, 4, 16, 96)]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,212 @@
+"""Tests for buffered and one-pass contraction (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import kaminpar, terapart
+from repro.core.context import PartitionContext
+from repro.core.coarsening.contraction import (
+    aggregate_coarse_edges,
+    contract_buffered,
+)
+from repro.core.coarsening.one_pass_contraction import contract_one_pass
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from repro.memory import MemoryTracker
+
+
+def make_ctx(graph, preset=terapart, p=8, k=4, chunk_size=512):
+    from repro.parallel import ParallelRuntime
+
+    return PartitionContext(
+        config=preset(seed=7, p=p),
+        k=k,
+        total_vertex_weight=graph.total_vertex_weight,
+        tracker=MemoryTracker(),
+        runtime=ParallelRuntime(p, chunk_size=chunk_size),
+    )
+
+
+def random_clustering(graph, n_clusters, seed=0):
+    """A valid clustering: leader IDs are member vertex IDs."""
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, n_clusters, size=graph.n)
+    # leader of cluster c = smallest vertex assigned to c
+    clusters = np.empty(graph.n, dtype=np.int64)
+    for c in range(n_clusters):
+        members = np.flatnonzero(assignment == c)
+        if len(members):
+            clusters[members] = members[0]
+    # unassigned clusters never happen: every vertex got some c
+    weights = np.zeros(graph.n, dtype=np.int64)
+    np.add.at(weights, clusters, np.asarray(graph.vwgt))
+    return clusters, weights
+
+
+def canonical_edges(g, vertex_key):
+    """Edge multiset relabeled by a canonical vertex key for comparison."""
+    rows = []
+    for u in range(g.n):
+        nbrs, wgts = g.neighbors_and_weights(u)
+        for v, w in zip(np.asarray(nbrs).tolist(), np.asarray(wgts).tolist()):
+            rows.append((vertex_key[u], vertex_key[v], w))
+    return sorted(rows)
+
+
+class TestAggregateCoarseEdges:
+    def test_merges_parallel_edges(self):
+        # path 0-1-2-3, contract {0,1} and {2,3}
+        g = gen.path(4)
+        f2c = np.array([0, 0, 1, 1])
+        cu, cv, w = aggregate_coarse_edges(g, f2c, 2)
+        assert sorted(zip(cu.tolist(), cv.tolist(), w.tolist())) == [
+            (0, 1, 1),
+            (1, 0, 1),
+        ]
+
+    def test_sums_weights(self):
+        g = from_edges(
+            4,
+            np.array([[0, 2], [0, 3], [1, 2], [1, 3]]),
+            np.array([1, 2, 3, 4]),
+        )
+        f2c = np.array([0, 0, 1, 1])
+        cu, cv, w = aggregate_coarse_edges(g, f2c, 2)
+        assert sorted(zip(cu.tolist(), cv.tolist(), w.tolist())) == [
+            (0, 1, 10),
+            (1, 0, 10),
+        ]
+
+    def test_drops_intra_cluster_edges(self):
+        g = gen.complete(4)
+        f2c = np.zeros(4, dtype=np.int64)
+        cu, cv, w = aggregate_coarse_edges(g, f2c, 1)
+        assert len(cu) == 0
+
+
+class TestBufferedContraction:
+    def test_coarse_graph_valid(self, family_graph):
+        clusters, weights = random_clustering(family_graph, 20, seed=1)
+        ctx = make_ctx(family_graph)
+        out = contract_buffered(family_graph, clusters, weights, ctx)
+        out.coarse.validate()
+
+    def test_preserves_total_vertex_weight(self, grid_graph):
+        clusters, weights = random_clustering(grid_graph, 10)
+        ctx = make_ctx(grid_graph)
+        out = contract_buffered(grid_graph, clusters, weights, ctx)
+        assert out.coarse.total_vertex_weight == grid_graph.total_vertex_weight
+
+    def test_cut_preserved_under_projection(self, grid_graph):
+        """Edge weight between two coarse vertices == total fine edge weight
+        between their clusters."""
+        clusters, weights = random_clustering(grid_graph, 8, seed=3)
+        ctx = make_ctx(grid_graph)
+        out = contract_buffered(grid_graph, clusters, weights, ctx)
+        # compare against a brute-force count for a few pairs
+        f2c = out.fine_to_coarse
+        coarse = out.coarse
+        for a in range(min(4, coarse.n)):
+            nbrs, wgts = coarse.neighbors_and_weights(a)
+            for b, w in zip(np.asarray(nbrs).tolist(), np.asarray(wgts).tolist()):
+                brute = 0
+                for u in np.flatnonzero(f2c == a).tolist():
+                    nu, wu = grid_graph.neighbors_and_weights(u)
+                    mask = f2c[np.asarray(nu)] == b
+                    brute += int(np.asarray(wu)[mask].sum())
+                assert brute == w
+
+    def test_fine_to_coarse_consistent(self, grid_graph):
+        clusters, weights = random_clustering(grid_graph, 10)
+        ctx = make_ctx(grid_graph)
+        out = contract_buffered(grid_graph, clusters, weights, ctx)
+        # same cluster -> same coarse vertex
+        assert np.array_equal(
+            out.fine_to_coarse[clusters == clusters[0]],
+            np.full((clusters == clusters[0]).sum(), out.fine_to_coarse[0]),
+        )
+        assert out.fine_to_coarse.max() == out.coarse.n - 1
+
+
+class TestOnePassContraction:
+    def test_coarse_graph_valid(self, family_graph):
+        clusters, weights = random_clustering(family_graph, 20, seed=2)
+        ctx = make_ctx(family_graph)
+        out = contract_one_pass(family_graph, clusters, weights, ctx)
+        out.coarse.validate()
+
+    def test_isomorphic_to_buffered(self, family_graph):
+        clusters, weights = random_clustering(family_graph, 15, seed=4)
+        out_b = contract_buffered(
+            family_graph, clusters.copy(), weights.copy(), make_ctx(family_graph)
+        )
+        out_o = contract_one_pass(
+            family_graph, clusters.copy(), weights.copy(), make_ctx(family_graph)
+        )
+        assert out_b.coarse.n == out_o.coarse.n
+        assert out_b.coarse.m == out_o.coarse.m
+        # exact correspondence through cluster leaders: vertex keys from the
+        # respective fine_to_coarse maps relabel both to the same multiset
+        key_b = np.empty(out_b.coarse.n, dtype=np.int64)
+        key_b[out_b.fine_to_coarse] = clusters  # coarse id -> leader id
+        key_o = np.empty(out_o.coarse.n, dtype=np.int64)
+        key_o[out_o.fine_to_coarse] = clusters
+        assert canonical_edges(out_b.coarse, key_b) == canonical_edges(
+            out_o.coarse, key_o
+        )
+        # vertex weights correspond too
+        wb = {int(k): int(out_b.coarse.vwgt[i]) for i, k in enumerate(key_b)}
+        wo = {int(k): int(out_o.coarse.vwgt[i]) for i, k in enumerate(key_o)}
+        assert wb == wo
+
+    def test_relabeling_differs_from_buffered(self, web_graph):
+        """One-pass relabels by chunk completion order (not leader order)."""
+        clusters, weights = random_clustering(web_graph, 50, seed=5)
+        out_b = contract_buffered(
+            web_graph, clusters.copy(), weights.copy(), make_ctx(web_graph)
+        )
+        # small chunks -> several chunks -> shuffled completion order
+        out_o = contract_one_pass(
+            web_graph,
+            clusters.copy(),
+            weights.copy(),
+            make_ctx(web_graph, chunk_size=8),
+        )
+        assert not np.array_equal(out_b.fine_to_coarse, out_o.fine_to_coarse)
+
+    def test_neighborhoods_consecutive_in_eprime(self, grid_graph):
+        """P' must be non-decreasing: consecutive IDs, consecutive ranges."""
+        clusters, weights = random_clustering(grid_graph, 12, seed=6)
+        out = contract_one_pass(grid_graph, clusters, weights, make_ctx(grid_graph))
+        assert np.all(np.diff(out.coarse.indptr) >= 0)
+
+    def test_uses_less_peak_memory_than_buffered(self):
+        # needs enough coarse vertices that the buffered scheme's per-thread
+        # O(n') aggregation maps dominate the one-pass scheme's fixed-size
+        # tables (the regime the paper's graphs are always in)
+        g = gen.weblike(6000, avg_degree=12, seed=7)
+        clusters, weights = random_clustering(g, 3000, seed=7)
+        ctx_b = make_ctx(g, p=16)
+        ctx_o = make_ctx(g, p=16)
+        with ctx_b.tracker.phase("c"):
+            contract_buffered(g, clusters.copy(), weights.copy(), ctx_b)
+        with ctx_o.tracker.phase("c"):
+            contract_one_pass(g, clusters.copy(), weights.copy(), ctx_o)
+        assert ctx_o.tracker.phase_peak("c") < ctx_b.tracker.phase_peak("c")
+
+    def test_identity_clustering(self, tiny_graph):
+        """Contracting singletons reproduces the graph (relabeled)."""
+        clusters = np.arange(tiny_graph.n, dtype=np.int64)
+        weights = np.asarray(tiny_graph.vwgt).copy()
+        out = contract_one_pass(tiny_graph, clusters, weights, make_ctx(tiny_graph))
+        assert out.coarse.n == tiny_graph.n
+        assert out.coarse.m == tiny_graph.m
+
+    def test_single_cluster(self, tiny_graph):
+        clusters = np.zeros(tiny_graph.n, dtype=np.int64)
+        weights = np.zeros(tiny_graph.n, dtype=np.int64)
+        weights[0] = tiny_graph.total_vertex_weight
+        out = contract_one_pass(tiny_graph, clusters, weights, make_ctx(tiny_graph))
+        assert out.coarse.n == 1
+        assert out.coarse.m == 0
+        assert out.coarse.total_vertex_weight == tiny_graph.total_vertex_weight

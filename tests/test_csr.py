@@ -1,0 +1,138 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+class TestConstruction:
+    def test_basic_properties(self, tiny_graph):
+        g = tiny_graph
+        assert g.n == 6
+        assert g.m == 7
+        assert g.num_directed_edges == 14
+        assert g.degree(2) == 3
+        assert sorted(g.neighbors(2).tolist()) == [0, 1, 3]
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_rejects_out_of_range_neighbors(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_rejects_misaligned_weights(self):
+        with pytest.raises(ValueError):
+            CSRGraph(
+                np.array([0, 1, 2]),
+                np.array([1, 0]),
+                adjwgt=np.array([1]),
+            )
+
+    def test_empty_graph(self):
+        g = CSRGraph(np.array([0]), np.empty(0, dtype=np.int64))
+        assert g.n == 0
+        assert g.m == 0
+        assert g.max_degree == 0
+
+    def test_isolated_vertices(self):
+        g = from_edges(4, np.array([[0, 1]]))
+        assert g.degree(2) == 0
+        assert g.degree(3) == 0
+        assert len(g.neighbors(3)) == 0
+
+
+class TestWeights:
+    def test_unit_weights_cost_nothing(self, tiny_graph):
+        g = tiny_graph
+        assert not g.has_edge_weights
+        assert not g.has_vertex_weights
+        # weight views cost 8 bytes each in the ledger
+        assert g.nbytes == g.indptr.nbytes + g.adjncy.nbytes + 16
+
+    def test_unit_weight_views_read_as_ones(self, tiny_graph):
+        g = tiny_graph
+        assert np.all(np.asarray(g.edge_weights(0)) == 1)
+        assert np.all(np.asarray(g.vwgt) == 1)
+
+    def test_total_weights(self, weighted_graph):
+        g = weighted_graph
+        assert g.has_edge_weights
+        assert g.total_vertex_weight == 4
+        assert g.total_edge_weight == 2 * (5 + 1 + 5 + 1 + 10)
+
+    def test_incident_weight(self, weighted_graph):
+        g = weighted_graph
+        # vertex 0: edges to 1 (5), 3 (1), 2 (10)
+        assert g.incident_weight(0) == 16
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, tiny_graph):
+        tiny_graph.validate()
+
+    def test_detects_asymmetry(self):
+        g = CSRGraph(np.array([0, 1, 1]), np.array([1]))
+        with pytest.raises(ValueError, match="symmetric"):
+            g.validate()
+
+    def test_detects_self_loop(self):
+        g = CSRGraph(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError, match="self-loop"):
+            g.validate()
+
+    def test_detects_weight_mismatch(self):
+        g = CSRGraph(
+            np.array([0, 1, 2]),
+            np.array([1, 0]),
+            adjwgt=np.array([2, 3]),
+        )
+        with pytest.raises(ValueError, match="symmetric"):
+            g.validate()
+
+
+class TestSorting:
+    def test_with_sorted_neighborhoods(self):
+        indptr = np.array([0, 2, 4])
+        adjncy = np.array([1, 1, 0, 0])  # parallel edges, unsorted ok
+        g = CSRGraph(indptr, adjncy, adjwgt=np.array([3, 1, 1, 3]))
+        gs = g.with_sorted_neighborhoods()
+        assert gs.sorted_neighborhoods
+        for u in range(gs.n):
+            nbrs = gs.neighbors(u)
+            assert np.all(np.diff(nbrs) >= 0)
+
+    def test_sorting_preserves_weight_alignment(self, family_graph):
+        g = family_graph
+        gs = g.with_sorted_neighborhoods()
+        for u in range(0, g.n, max(1, g.n // 50)):
+            na, wa = g.neighbors_and_weights(u)
+            ns, ws = gs.neighbors_and_weights(u)
+            order = np.argsort(np.asarray(na), kind="stable")
+            assert np.array_equal(np.asarray(na)[order], np.asarray(ns))
+            assert np.array_equal(np.asarray(wa)[order], np.asarray(ws))
+
+    def test_idempotent_when_sorted(self, tiny_graph):
+        gs = tiny_graph.with_sorted_neighborhoods()
+        assert gs.with_sorted_neighborhoods() is gs
+
+
+class TestAccessors:
+    def test_incident_edge_ids(self, tiny_graph):
+        g = tiny_graph
+        ids = g.incident_edge_ids(2)
+        assert ids.tolist() == list(range(int(g.indptr[2]), int(g.indptr[3])))
+
+    def test_degrees_vector(self, tiny_graph):
+        g = tiny_graph
+        assert np.array_equal(
+            g.degrees, np.array([g.degree(u) for u in range(g.n)])
+        )
+
+    def test_repr(self, tiny_graph):
+        assert "CSRGraph" in repr(tiny_graph)

@@ -1,0 +1,105 @@
+"""Tests for the deep multilevel scheme (KaMinPar [3])."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import config as C
+from repro.core.initial.deep import (
+    DeepState,
+    deep_initial_partition,
+    extend_partition,
+    supported_block_count,
+)
+from repro.core.partition import PartitionedGraph
+from repro.graph import generators as gen
+
+
+class TestSupportedBlockCount:
+    def test_scales_with_n(self):
+        assert supported_block_count(64, 1000, 32) == 2
+        assert supported_block_count(640, 1000, 32) == 20
+
+    def test_clamped_to_k(self):
+        assert supported_block_count(10**6, 8, 32) == 8
+
+    def test_at_least_one(self):
+        assert supported_block_count(1, 8, 32) == 1
+
+
+class TestDeepInitial:
+    def test_block_count_matches_support(self, grid_graph):
+        part, state = deep_initial_partition(
+            grid_graph, 16, 0.03, np.random.default_rng(0), factor=32
+        )
+        expected = supported_block_count(grid_graph.n, 16, 32)
+        assert len(np.unique(part)) == expected
+        assert state.k_current == expected
+        assert state.budgets.sum() == 16
+
+    def test_budgets_partition_k(self):
+        g = gen.rgg2d(800, 8.0, seed=1)
+        for k in (3, 7, 13):
+            _, state = deep_initial_partition(
+                g, k, 0.03, np.random.default_rng(1), factor=32
+            )
+            assert state.budgets.sum() == k
+            assert np.all(state.budgets >= 1)
+
+    def test_small_k_done_immediately(self):
+        g = gen.grid2d(30, 30)
+        part, state = deep_initial_partition(
+            g, 2, 0.03, np.random.default_rng(2), factor=32
+        )
+        assert state.done()
+        assert len(np.unique(part)) == 2
+
+
+class TestExtendPartition:
+    def test_splits_until_supported(self):
+        g = gen.grid2d(40, 40)  # n=1600
+        k = 32
+        part, state = deep_initial_partition(
+            g, k, 0.03, np.random.default_rng(3), factor=32
+        )
+        pg = PartitionedGraph(g, k, part)
+        extend_partition(pg, state, np.random.default_rng(4), factor=32)
+        assert state.k_current == supported_block_count(g.n, k, 32)
+        assert state.budgets.sum() == k
+        pg.validate()
+
+    def test_noop_when_done(self):
+        g = gen.grid2d(30, 30)
+        part, state = deep_initial_partition(
+            g, 2, 0.03, np.random.default_rng(5), factor=32
+        )
+        pg = PartitionedGraph(g, 2, part)
+        assert extend_partition(pg, state, np.random.default_rng(6)) == 0
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("k", [2, 5, 16, 33])
+    def test_balanced_all_blocks(self, k):
+        g = gen.rgg2d(2000, 8.0, seed=7)
+        r = repro.partition(g, k, C.preset("terapart-deep", seed=1))
+        assert r.balanced, (k, r.imbalance)
+        assert r.pgraph.nonempty_blocks() == k
+        r.pgraph.validate()
+
+    def test_quality_close_to_recursive(self):
+        g = gen.rgg2d(2000, 8.0, seed=8)
+        deep = repro.partition(g, 16, C.preset("terapart-deep", seed=2))
+        rec = repro.partition(g, 16, C.terapart(seed=2))
+        assert deep.cut < 1.5 * rec.cut
+
+    def test_deep_hierarchy_is_deeper(self):
+        """Deep multilevel coarsens to constant size, so it builds more
+        levels than classic (which stops at 32k vertices)."""
+        g = gen.rgg2d(3000, 8.0, seed=9)
+        deep = repro.partition(g, 64, C.preset("terapart-deep", seed=3))
+        rec = repro.partition(g, 64, C.terapart(seed=3))
+        assert deep.num_levels >= rec.num_levels
+
+    def test_weighted_vertices(self, text_graph):
+        r = repro.partition(text_graph, 8, C.preset("terapart-deep", seed=4))
+        assert r.balanced

@@ -1,0 +1,81 @@
+"""Tests for the simulated communicator (repro.dist.comm)."""
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import SimComm
+
+
+class TestCollectives:
+    def test_alltoallv_transposes(self):
+        comm = SimComm(3)
+        send = [[f"{s}->{d}" for d in range(3)] for s in range(3)]
+        recv = comm.alltoallv(send)
+        for d in range(3):
+            for s in range(3):
+                assert recv[d][s] == f"{s}->{d}"
+
+    def test_alltoallv_shape_checked(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.alltoallv([[1, 2]])
+
+    def test_allgather(self):
+        comm = SimComm(4)
+        out = comm.allgather([10, 11, 12, 13])
+        assert all(o == [10, 11, 12, 13] for o in out)
+
+    def test_allgather_arity_checked(self):
+        with pytest.raises(ValueError):
+            SimComm(3).allgather([1, 2])
+
+    def test_allreduce_sum(self):
+        comm = SimComm(3)
+        vals = [np.array([1, 2]), np.array([10, 20]), np.array([100, 200])]
+        assert comm.allreduce(vals).tolist() == [111, 222]
+
+    def test_allreduce_max_min(self):
+        comm = SimComm(2)
+        vals = [np.array([1, 9]), np.array([5, 3])]
+        assert comm.allreduce(vals, op="max").tolist() == [5, 9]
+        assert comm.allreduce(vals, op="min").tolist() == [1, 3]
+
+    def test_allreduce_unknown_op(self):
+        with pytest.raises(ValueError):
+            SimComm(2).allreduce([np.array([1]), np.array([2])], op="xor")
+
+    def test_bcast(self):
+        comm = SimComm(3)
+        out = comm.bcast({"x": 1})
+        assert len(out) == 3 and all(o == {"x": 1} for o in out)
+
+    def test_single_rank(self):
+        comm = SimComm(1)
+        assert comm.alltoallv([[42]]) == [[42]]
+        assert comm.allreduce([np.array([7])]).tolist() == [7]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+
+class TestStats:
+    def test_traffic_counted_excluding_self(self):
+        comm = SimComm(2)
+        a = np.zeros(100, dtype=np.int64)
+        comm.alltoallv([[a, a], [a, a]])
+        # only the two off-diagonal messages count
+        assert comm.stats.bytes_sent == 2 * a.nbytes
+
+    def test_supersteps_counted(self):
+        comm = SimComm(2)
+        comm.barrier()
+        comm.allgather([1, 2])
+        assert comm.stats.supersteps == 2
+
+    def test_per_rank_trackers(self):
+        comm = SimComm(2)
+        comm.trackers[0].alloc("x", 100)
+        comm.trackers[1].alloc("y", 300)
+        assert comm.max_rank_peak_bytes() == 300
+        assert comm.rank_peaks() == [100, 300]

@@ -1,0 +1,88 @@
+"""Tests for the distributed graph (shards, ghosts, compression)."""
+
+import numpy as np
+import pytest
+
+from repro.dist.comm import SimComm
+from repro.dist.dgraph import distribute_graph, _split_ranges
+from repro.graph import generators as gen
+
+
+class TestSplitRanges:
+    def test_covers_everything(self):
+        r = _split_ranges(10, 3)
+        assert r.tolist() == [0, 4, 7, 10]
+
+    def test_exact_division(self):
+        assert _split_ranges(9, 3).tolist() == [0, 3, 6, 9]
+
+    def test_more_ranks_than_vertices(self):
+        r = _split_ranges(2, 4)
+        assert r[-1] == 2 and len(r) == 5
+
+
+class TestDistributeGraph:
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_shards_cover_adjacency(self, compressed):
+        g = gen.weblike(600, avg_degree=10, seed=3)
+        comm = SimComm(4)
+        dg = distribute_graph(g, comm, compressed=compressed)
+        for shard in dg.shards:
+            for lu in range(shard.n_local):
+                u = shard.lo + lu
+                nv, wv = shard.neighbors_and_weights(lu)
+                ne, we = g.neighbors_and_weights(u)
+                order = np.argsort(np.asarray(nv), kind="stable")
+                assert np.array_equal(
+                    np.asarray(nv)[order], np.sort(np.asarray(ne))
+                )
+                assert int(np.asarray(wv).sum()) == int(np.asarray(we).sum())
+
+    def test_ghosts_are_nonlocal_neighbors(self):
+        g = gen.grid2d(12, 12)
+        comm = SimComm(3)
+        dg = distribute_graph(g, comm)
+        for shard in dg.shards:
+            assert np.all((shard.ghosts < shard.lo) | (shard.ghosts >= shard.hi))
+            # every ghost really appears in some local adjacency
+            all_nbrs = np.concatenate(
+                [
+                    np.asarray(shard.neighbors_and_weights(lu)[0])
+                    for lu in range(shard.n_local)
+                ]
+            ) if shard.n_local else np.empty(0, dtype=np.int64)
+            for ghost in shard.ghosts.tolist():
+                assert ghost in all_nbrs
+
+    def test_compression_reduces_shard_bytes(self):
+        g = gen.weblike(800, avg_degree=16, seed=4)
+        raw = distribute_graph(g, SimComm(4), compressed=False)
+        comp = distribute_graph(g, SimComm(4), compressed=True)
+        for s_raw, s_comp in zip(raw.shards, comp.shards):
+            assert s_comp.storage_bytes < s_raw.storage_bytes
+
+    def test_per_rank_ledger_charged(self):
+        g = gen.grid2d(10, 10)
+        comm = SimComm(2)
+        dg = distribute_graph(g, comm)
+        for rank, shard in enumerate(dg.shards):
+            assert (
+                comm.trackers[rank].current_bytes
+                == shard.storage_bytes + shard.ghost_bytes
+            )
+        dg.free()
+        assert all(t.current_bytes == 0 for t in comm.trackers)
+
+    def test_owner_of(self):
+        g = gen.grid2d(10, 10)
+        dg = distribute_graph(g, SimComm(4))
+        for v in (0, 25, 50, 99):
+            r = int(dg.owner_of(v))
+            assert dg.ranges[r] <= v < dg.ranges[r + 1]
+
+    def test_totals_preserved(self):
+        g = gen.textlike(300, seed=5)
+        dg = distribute_graph(g, SimComm(3), compressed=True)
+        assert dg.n == g.n
+        assert dg.m == g.m
+        assert dg.total_vertex_weight == g.total_vertex_weight

@@ -1,0 +1,96 @@
+"""End-to-end tests of the distributed driver (dKaMinPar / xTeraPart)."""
+
+import numpy as np
+import pytest
+
+from repro.dist import SimComm, dpartition
+from repro.dist.dlp import distributed_lp_clustering
+from repro.dist.dgraph import distribute_graph
+from repro.dist.dpartitioner import DistConfig
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return gen.rgg2d(2000, avg_degree=8, seed=31)
+
+
+class TestDistributedLP:
+    def test_clustering_is_valid(self, medium_graph):
+        comm = SimComm(4)
+        dg = distribute_graph(medium_graph, comm)
+        labels = distributed_lp_clustering(
+            dg, 16, rounds=3, batches=4, rng=np.random.default_rng(0)
+        )
+        assert len(labels) == medium_graph.n
+        assert labels.min() >= 0 and labels.max() < medium_graph.n
+        # it actually clusters
+        assert len(np.unique(labels)) < medium_graph.n / 1.5
+
+    def test_respects_weight_cap(self, medium_graph):
+        comm = SimComm(2)
+        dg = distribute_graph(medium_graph, comm)
+        cap = 5
+        labels = distributed_lp_clustering(
+            dg, cap, rounds=3, batches=2, rng=np.random.default_rng(1)
+        )
+        sizes = np.zeros(medium_graph.n, dtype=np.int64)
+        np.add.at(sizes, labels, 1)
+        assert sizes.max() <= cap
+
+
+class TestDPartition:
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_produces_balanced_partition(self, medium_graph, compressed):
+        r = dpartition(medium_graph, 8, 4, compressed=compressed)
+        assert r.balanced, r.imbalance
+        assert len(np.unique(r.partition)) == 8
+        assert r.cut > 0
+
+    def test_quality_similar_compressed_or_not(self, medium_graph):
+        a = dpartition(medium_graph, 8, 4, compressed=False)
+        b = dpartition(medium_graph, 8, 4, compressed=True)
+        assert abs(a.cut - b.cut) <= 0.35 * max(a.cut, b.cut)
+
+    def test_compression_reduces_rank_peak(self, medium_graph):
+        a = dpartition(medium_graph, 8, 4, compressed=False)
+        b = dpartition(medium_graph, 8, 4, compressed=True)
+        assert b.max_rank_peak_bytes < a.max_rank_peak_bytes
+
+    def test_multilevel_beats_flat_random(self, medium_graph):
+        from repro.core.partition import PartitionedGraph
+
+        r = dpartition(medium_graph, 8, 4)
+        rng = np.random.default_rng(2)
+        rand_cut = PartitionedGraph(
+            medium_graph,
+            8,
+            rng.integers(0, 8, size=medium_graph.n).astype(np.int32),
+        ).cut_weight()
+        assert r.cut < rand_cut / 2
+
+    def test_rank_count_flexibility(self, medium_graph):
+        for ranks in (1, 2, 8):
+            r = dpartition(medium_graph, 4, ranks)
+            assert r.num_ranks == ranks
+            assert r.balanced
+
+    def test_oom_flag(self, medium_graph):
+        cfg = DistConfig(seed=0, rank_memory_budget=1)
+        r = dpartition(medium_graph, 4, 2, config=cfg)
+        assert r.oom
+        cfg = DistConfig(seed=0, rank_memory_budget=10**12)
+        r = dpartition(medium_graph, 4, 2, config=cfg)
+        assert not r.oom
+
+    def test_comm_traffic_recorded(self, medium_graph):
+        r = dpartition(medium_graph, 8, 4)
+        assert r.comm.bytes_sent > 0
+        assert r.comm.supersteps > 0
+
+    def test_cut_matches_recount(self, medium_graph):
+        from repro.core.partition import PartitionedGraph
+
+        r = dpartition(medium_graph, 8, 4)
+        pg = PartitionedGraph(medium_graph, 8, r.partition)
+        assert pg.cut_weight() == r.cut

@@ -1,0 +1,164 @@
+"""Failure-injection tests: corrupt inputs must fail loudly, not quietly.
+
+A partitioner that silently decodes garbage produces silently-wrong
+science; these tests corrupt each on-disk/in-memory format and assert the
+failure is an exception (never a wrong-but-plausible graph).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.compressed import CompressedGraph, compress_graph, decompress_graph
+from repro.graph.io import read_binary, read_metis, write_binary
+from repro.graph.varint import decode_varint
+
+from conftest import graphs_equal
+
+
+@pytest.fixture
+def web_cg(web_graph):
+    return compress_graph(web_graph)
+
+
+class TestCorruptVarint:
+    def test_endless_continuation_detected(self):
+        with pytest.raises(ValueError, match="too long"):
+            decode_varint(bytes([0x80] * 20), 0)
+
+    def test_truncated_buffer_raises(self):
+        buf = bytearray()
+        from repro.graph.varint import encode_varint
+
+        encode_varint(2**40, buf)
+        with pytest.raises(IndexError):
+            decode_varint(bytes(buf[:-1]), 0)
+
+
+class TestCorruptCompressedGraph:
+    def _clone_with_data(self, cg: CompressedGraph, data: bytes) -> CompressedGraph:
+        return CompressedGraph(
+            cg.n,
+            cg.num_directed_edges,
+            cg.offsets.copy(),
+            data,
+            None,
+            has_edge_weights=cg.has_edge_weights,
+            config=cg.config,
+            stats=cg.stats,
+        )
+
+    def test_truncated_data_fails(self, web_cg):
+        bad = self._clone_with_data(web_cg, web_cg.data[: len(web_cg.data) // 2])
+        with pytest.raises((IndexError, ValueError)):
+            decompress_graph(bad)
+
+    def test_chunk_length_mismatch_detected(self):
+        g = gen.star(3000)
+        cg = compress_graph(g, high_degree_threshold=1000, chunk_length=100)
+        # flip a byte inside the hub's first chunk-length prefix
+        data = bytearray(cg.data)
+        hub_off = int(cg.offsets[0])
+        # skip the first-edge-id header, then clobber the length prefix
+        _, pos = decode_varint(data, hub_off)
+        data[pos] = (data[pos] ^ 0x3F) | 0x01
+        bad = CompressedGraph(
+            cg.n,
+            cg.num_directed_edges,
+            cg.offsets.copy(),
+            bytes(data),
+            None,
+            has_edge_weights=False,
+            config=cg.config,
+            stats=cg.stats,
+        )
+        with pytest.raises((ValueError, IndexError)):
+            bad.neighbors(0)
+
+    def test_header_tamper_changes_degrees_consistently(self, web_graph):
+        """Headers are load-bearing: degree comes from consecutive headers,
+        so a consistent graph after tampering is impossible to miss."""
+        cg = compress_graph(web_graph)
+        assert np.array_equal(cg.degrees, web_graph.degrees)
+
+
+class TestCorruptBinaryFiles:
+    def test_wrong_magic(self, tmp_path, grid_graph):
+        p = tmp_path / "g.bin"
+        write_binary(grid_graph, p)
+        data = bytearray(p.read_bytes())
+        data[:4] = b"EVIL"
+        p.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="magic"):
+            read_binary(p)
+
+    def test_wrong_version(self, tmp_path, grid_graph):
+        p = tmp_path / "g.bin"
+        write_binary(grid_graph, p)
+        data = bytearray(p.read_bytes())
+        data[4] = 99
+        p.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version"):
+            read_binary(p)
+
+    def test_out_of_range_neighbor_rejected(self, tmp_path, grid_graph):
+        p = tmp_path / "g.bin"
+        write_binary(grid_graph, p)
+        data = bytearray(p.read_bytes())
+        # clobber the first adjacency entry with a huge vertex id
+        header = 32
+        indptr_bytes = 8 * (grid_graph.n + 1)
+        data[header + indptr_bytes : header + indptr_bytes + 8] = (
+            10**12
+        ).to_bytes(8, "little")
+        p.write_bytes(bytes(data))
+        with pytest.raises(ValueError):
+            read_binary(p)
+
+
+class TestCorruptMetis:
+    def test_vertex_index_out_of_range(self, tmp_path):
+        p = tmp_path / "g.metis"
+        p.write_text("2 1\n9\n1\n")
+        with pytest.raises((ValueError, IndexError)):
+            read_metis(p)
+
+    def test_garbage_tokens(self, tmp_path):
+        p = tmp_path / "g.metis"
+        p.write_text("2 1\nabc\n1\n")
+        with pytest.raises(ValueError):
+            read_metis(p)
+
+
+class TestRoundTripUnderStress:
+    def test_many_empty_neighborhoods(self):
+        g = gen.star(50)  # 49 degree-1 vertices + hub, then add isolates
+        from repro.graph.builder import from_edges
+
+        edges = np.stack(
+            [np.zeros(20, dtype=np.int64), np.arange(1, 21, dtype=np.int64)],
+            axis=1,
+        )
+        g = from_edges(1000, edges)  # 979 isolated vertices
+        cg = compress_graph(g)
+        assert graphs_equal(decompress_graph(cg), g)
+
+    def test_maximal_ids(self):
+        from repro.graph.builder import from_edges
+
+        n = 2**20
+        edges = np.array([[0, n - 1], [n - 2, n - 1]], dtype=np.int64)
+        g = from_edges(n, edges)
+        cg = compress_graph(g)
+        assert graphs_equal(decompress_graph(cg), g)
+
+    def test_huge_weights(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(
+            3,
+            np.array([[0, 1], [1, 2]]),
+            np.array([2**55, 2**50], dtype=np.int64),
+        )
+        cg = compress_graph(g)
+        assert graphs_equal(decompress_graph(cg), g)

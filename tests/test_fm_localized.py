@@ -1,0 +1,83 @@
+"""Tests for localized multi-search FM."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FMConfig, GainTableKind, terapart
+from repro.core.context import PartitionContext
+from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.core.refinement.balancer import rebalance
+from repro.core.refinement.fm_localized import fm_refine_localized
+from repro.core.refinement.fm_refine import fm_refine
+from repro.graph import generators as gen
+from repro.memory import MemoryTracker
+
+
+def make_ctx(graph, k=4, seed=0):
+    return PartitionContext(
+        config=terapart(seed=seed),
+        k=k,
+        total_vertex_weight=graph.total_vertex_weight,
+        tracker=MemoryTracker(),
+    )
+
+
+def random_partition(graph, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return PartitionedGraph(
+        graph, k, rng.integers(0, k, size=graph.n).astype(np.int32)
+    )
+
+
+class TestLocalizedFM:
+    @pytest.mark.parametrize("kind", list(GainTableKind))
+    def test_improves_cut(self, grid_graph, kind):
+        pg = random_partition(grid_graph, 4, seed=1)
+        before = pg.cut_weight()
+        ctx = make_ctx(grid_graph)
+        lmax = max_block_weight(grid_graph.total_vertex_weight, 4, 0.05)
+        imp = fm_refine_localized(pg, ctx, lmax, FMConfig(gain_table=kind))
+        assert pg.cut_weight() < before
+        assert imp == before - pg.cut_weight()
+        pg.validate()
+
+    def test_respects_balance(self, family_graph):
+        pg = random_partition(family_graph, 4, seed=2)
+        lmax = max_block_weight(family_graph.total_vertex_weight, 4, 0.03)
+        rebalance(pg, lmax)
+        ctx = make_ctx(family_graph)
+        fm_refine_localized(pg, ctx, lmax)
+        assert pg.block_weights.max() <= lmax
+
+    def test_comparable_quality_to_global_fm(self, rgg_graph):
+        lmax = max_block_weight(rgg_graph.total_vertex_weight, 4, 0.05)
+        pg_l = random_partition(rgg_graph, 4, seed=3)
+        pg_g = PartitionedGraph(rgg_graph, 4, pg_l.partition.copy())
+        fm_refine_localized(pg_l, make_ctx(rgg_graph), lmax)
+        fm_refine(pg_g, make_ctx(rgg_graph), lmax)
+        # within 2x of each other (they find different local optima)
+        assert pg_l.cut_weight() < 2 * max(1, pg_g.cut_weight())
+
+    def test_region_limit_bounds_searches(self, grid_graph):
+        """A tiny region cap still terminates and improves."""
+        pg = random_partition(grid_graph, 4, seed=4)
+        before = pg.cut_weight()
+        ctx = make_ctx(grid_graph)
+        lmax = max_block_weight(grid_graph.total_vertex_weight, 4, 0.05)
+        fm_refine_localized(pg, ctx, lmax, max_region=4)
+        assert pg.cut_weight() <= before
+
+    def test_no_boundary_noop(self):
+        from repro.graph.builder import from_edges
+
+        edges = [[i, j] for i in range(4) for j in range(i + 1, 4)]
+        g = from_edges(4, np.array(edges))
+        pg = PartitionedGraph(g, 2, np.zeros(4, dtype=np.int32))
+        ctx = make_ctx(g, k=2)
+        assert fm_refine_localized(pg, ctx, 10) == 0
+
+    def test_tracker_leak_free(self, grid_graph):
+        pg = random_partition(grid_graph, 4, seed=5)
+        ctx = make_ctx(grid_graph)
+        fm_refine_localized(pg, ctx, 100)
+        ctx.tracker.assert_empty()

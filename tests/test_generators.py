@@ -1,0 +1,177 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: gen.rgg2d(500, 8.0, seed=1),
+            lambda: gen.rhg(500, 8.0, seed=1),
+            lambda: gen.weblike(500, 10.0, seed=1),
+            lambda: gen.kmer(500, 4, seed=1),
+            lambda: gen.ba(300, 3, seed=1),
+            lambda: gen.er(400, 6.0, seed=1),
+            lambda: gen.textlike(300, seed=1),
+            lambda: gen.grid2d(15, 15),
+            lambda: gen.grid2d(10, 10, torus=True),
+            lambda: gen.grid3d(6, 6, 6),
+            lambda: gen.star(50),
+            lambda: gen.path(50),
+            lambda: gen.complete(12),
+        ],
+    )
+    def test_generated_graphs_are_valid(self, maker):
+        g = maker()
+        g.validate()
+        assert g.sorted_neighborhoods
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(gen.GENERATORS))
+    def test_same_seed_same_graph(self, name):
+        kwargs = {"n": 300, "seed": 42}
+        a = gen.generate(name, **kwargs)
+        b = gen.generate(name, **kwargs)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.adjncy, b.adjncy)
+
+    def test_different_seeds_differ(self):
+        a = gen.er(300, 6.0, seed=1)
+        b = gen.er(300, 6.0, seed=2)
+        assert not (
+            np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.adjncy, b.adjncy)
+        )
+
+
+class TestStructure:
+    def test_grid_degrees(self):
+        g = gen.grid2d(5, 5)
+        degs = g.degrees
+        assert degs.max() == 4
+        assert degs.min() == 2  # corners
+        assert g.m == 2 * 5 * 4  # horizontal + vertical edges
+
+    def test_torus_is_regular(self):
+        g = gen.grid2d(6, 6, torus=True)
+        assert np.all(g.degrees == 4)
+
+    def test_rgg_no_high_degree_hubs(self):
+        """The paper: rgg2D resembles meshes, no high-degree vertices."""
+        g = gen.rgg2d(2000, avg_degree=8, seed=3)
+        assert g.max_degree < 40
+
+    def test_rhg_has_skewed_degrees(self):
+        """The paper: rhg has a power-law degree distribution."""
+        g = gen.rhg(3000, avg_degree=8, gamma=3.0, seed=3)
+        assert g.max_degree > 5 * g.degrees.mean()
+
+    def test_rhg_avg_degree_roughly_calibrated(self):
+        g = gen.rhg(3000, avg_degree=16, gamma=3.0, seed=5)
+        avg = g.degrees.mean()
+        assert 4 < avg < 64  # order of magnitude
+
+    def test_rhg_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            gen.rhg(100, 8.0, gamma=1.5)
+
+    def test_weblike_has_hubs_and_runs(self):
+        g = gen.weblike(3000, avg_degree=20, seed=4)
+        assert g.max_degree > 20 * g.degrees.mean() / 4
+        # consecutive-ID runs exist
+        from repro.graph.compressed import split_intervals
+
+        run_edges = 0
+        for u in range(0, g.n, 29):
+            intervals, _ = split_intervals(np.sort(g.neighbors(u)))
+            run_edges += sum(l for _, l in intervals)
+        assert run_edges > 0
+
+    def test_kmer_nearly_regular(self):
+        g = gen.kmer(2000, degree=4, seed=5)
+        assert g.degrees.std() < 2.0
+
+    def test_ba_powerlaw_ish(self):
+        g = gen.ba(1500, 4, seed=6)
+        assert g.max_degree > 10 * g.degrees.mean() / 4
+
+    def test_textlike_weighted(self):
+        g = gen.textlike(500, seed=7)
+        assert g.has_edge_weights
+        assert np.asarray(g.adjwgt).max() > 1
+
+    def test_star_structure(self):
+        g = gen.star(10)
+        assert g.degree(0) == 9
+        assert all(g.degree(u) == 1 for u in range(1, 10))
+
+    def test_complete_graph(self):
+        g = gen.complete(6)
+        assert g.m == 15
+        assert np.all(g.degrees == 5)
+
+
+class TestRegistry:
+    def test_unknown_generator(self):
+        with pytest.raises(KeyError):
+            gen.generate("nope", n=10)
+
+    def test_all_registered_generators_run(self):
+        for name in gen.GENERATORS:
+            g = gen.generate(name, n=200, seed=0)
+            assert g.n == 200
+
+
+class TestRmat:
+    def test_valid_and_powerlaw(self):
+        g = gen.rmat(2000, 8.0, seed=1)
+        g.validate()
+        assert g.max_degree > 10 * g.degrees.mean() / 4
+
+    def test_deterministic(self):
+        a = gen.rmat(500, 8.0, seed=9)
+        b = gen.rmat(500, 8.0, seed=9)
+        assert np.array_equal(a.adjncy, b.adjncy)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            gen.rmat(100, 8.0, a=0.5, b=0.3, c=0.3)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        cc = gen.connected_components(gen.grid2d(8, 8))
+        assert len(np.unique(cc)) == 1
+
+    def test_multiple_components(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(6, np.array([[0, 1], [2, 3], [4, 5]]))
+        cc = gen.connected_components(g)
+        assert len(np.unique(cc)) == 3
+        assert cc[0] == cc[1] and cc[2] == cc[3] and cc[4] == cc[5]
+
+    def test_isolated_vertices_are_components(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(4, np.array([[0, 1]]))
+        cc = gen.connected_components(g)
+        assert len(np.unique(cc)) == 3
+
+    def test_empty_graph(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(0, np.zeros((0, 2), dtype=np.int64))
+        assert len(gen.connected_components(g)) == 0
+
+    def test_labels_constant_within_component(self):
+        g = gen.rgg2d(400, 6.0, seed=2)
+        cc = gen.connected_components(g)
+        for u in range(0, g.n, 13):
+            for v in g.neighbors(u).tolist():
+                assert cc[u] == cc[v]

@@ -1,0 +1,112 @@
+"""Tests for binary / METIS I/O and streaming compression."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from repro.graph.compressed import compress_graph, decompress_graph
+from repro.graph.io import (
+    read_binary,
+    read_metis,
+    roundtrip_text,
+    stream_compressed,
+    write_binary,
+    write_metis,
+)
+
+from conftest import graphs_equal
+
+
+class TestBinary:
+    def test_roundtrip(self, tmp_path, family_graph):
+        path = tmp_path / "g.bin"
+        write_binary(family_graph, path)
+        assert graphs_equal(read_binary(path), family_graph)
+
+    def test_roundtrip_weighted(self, tmp_path, text_graph):
+        path = tmp_path / "g.bin"
+        write_binary(text_graph, path)
+        g2 = read_binary(path)
+        assert g2.has_edge_weights
+        assert graphs_equal(g2, text_graph)
+
+    def test_roundtrip_vertex_weights(self, tmp_path):
+        g = from_edges(3, np.array([[0, 1], [1, 2]]), vwgt=np.array([4, 5, 6]))
+        path = tmp_path / "g.bin"
+        write_binary(g, path)
+        assert graphs_equal(read_binary(path), g)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 60)
+        with pytest.raises(ValueError, match="magic"):
+            read_binary(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"TP")
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary(path)
+
+
+class TestStreamCompressed:
+    def test_streaming_matches_in_memory_compression(self, tmp_path, web_graph):
+        path = tmp_path / "g.bin"
+        write_binary(web_graph, path)
+        cg_stream = stream_compressed(path, packet_edges=256)
+        cg_mem = compress_graph(web_graph)
+        assert cg_stream.data == cg_mem.data
+        assert np.array_equal(cg_stream.offsets, cg_mem.offsets)
+
+    def test_streamed_graph_decodes_correctly(self, tmp_path, grid_graph):
+        path = tmp_path / "g.bin"
+        write_binary(grid_graph, path)
+        cg = stream_compressed(path)
+        assert graphs_equal(decompress_graph(cg), grid_graph)
+
+    def test_streaming_weighted(self, tmp_path, text_graph):
+        path = tmp_path / "g.bin"
+        write_binary(text_graph, path)
+        cg = stream_compressed(path, packet_edges=100)
+        assert graphs_equal(decompress_graph(cg), text_graph)
+        assert cg.total_edge_weight == text_graph.total_edge_weight
+
+    def test_tiny_packets(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.bin"
+        write_binary(tiny_graph, path)
+        cg = stream_compressed(path, packet_edges=1)
+        assert graphs_equal(decompress_graph(cg), tiny_graph)
+
+
+class TestMetis:
+    def test_text_roundtrip(self, family_graph):
+        assert graphs_equal(roundtrip_text(family_graph), family_graph)
+
+    def test_file_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "g.metis"
+        write_metis(tiny_graph, path)
+        assert graphs_equal(read_metis(path), tiny_graph)
+
+    def test_weighted_text_roundtrip(self, text_graph):
+        assert graphs_equal(roundtrip_text(text_graph), text_graph)
+
+    def test_vertex_weighted_roundtrip(self, tmp_path):
+        g = from_edges(3, np.array([[0, 1], [1, 2]]), vwgt=np.array([4, 5, 6]))
+        path = tmp_path / "g.metis"
+        write_metis(g, path)
+        g2 = read_metis(path)
+        assert graphs_equal(g2, g)
+
+    def test_header_mismatch_detected(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 5\n2\n1\n")  # claims 5 edges, has 1
+        with pytest.raises(ValueError, match="header"):
+            read_metis(path)
+
+    def test_one_indexing(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1\n2\n1\n")
+        g = read_metis(path)
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == [0]

@@ -1,0 +1,104 @@
+"""Tests for memory-budget enforcement (machine-size OOM modelling)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import config as C
+from repro.graph import generators as gen
+from repro.memory import MemoryBudgetExceeded, MemoryTracker
+
+
+class TestBudgetedTracker:
+    def test_alloc_within_budget(self):
+        t = MemoryTracker(budget=1000)
+        t.alloc("x", 900)
+        assert t.current_bytes == 900
+
+    def test_alloc_beyond_budget_raises(self):
+        t = MemoryTracker(budget=1000)
+        t.alloc("x", 900)
+        with pytest.raises(MemoryBudgetExceeded, match="y"):
+            t.alloc("y", 200)
+        # the failed allocation left no trace
+        assert t.current_bytes == 900
+
+    def test_free_restores_headroom(self):
+        t = MemoryTracker(budget=1000)
+        aid = t.alloc("x", 900)
+        t.free(aid)
+        t.alloc("y", 900)
+
+    def test_touch_respects_budget(self):
+        t = MemoryTracker(budget=10_000)
+        aid = t.alloc("oc", 10**6, overcommit=True)
+        t.touch(aid, 4000)
+        with pytest.raises(MemoryBudgetExceeded):
+            t.touch(aid, 50_000)
+        # rollback: touched bytes unchanged after the failure
+        assert t.current_bytes <= 10_000
+
+    def test_resize_respects_budget(self):
+        t = MemoryTracker(budget=1000)
+        aid = t.alloc("x", 500)
+        with pytest.raises(MemoryBudgetExceeded):
+            t.resize(aid, 2000)
+
+    def test_exception_carries_details(self):
+        t = MemoryTracker(budget=100)
+        try:
+            t.alloc("big", 500)
+        except MemoryBudgetExceeded as e:
+            assert e.budget == 100
+            assert e.requested == 500
+
+    def test_unbudgeted_never_raises(self):
+        t = MemoryTracker()
+        t.alloc("huge", 10**15)
+
+
+class TestOOMStories:
+    """The paper's machine-size feasibility results, in miniature."""
+
+    def test_full_gain_table_ooms_where_sparse_fits(self):
+        """kmer_V1r, k=1000: the O(nk) table exceeds the machine, the O(m)
+        table partitions happily (Section VI-B)."""
+        g = gen.kmer(3000, degree=4, seed=18)
+        k = 128
+        # budget sized between the sparse and full-table peaks
+        probe = repro.partition(g, k, C.terapart_fm(seed=1, p=96))
+        budget = int(probe.peak_bytes * 2.0)
+
+        with pytest.raises(MemoryBudgetExceeded):
+            repro.partition(
+                g,
+                k,
+                C.terapart_fm_full_table(seed=1, p=96),
+                tracker=MemoryTracker(budget=budget),
+            )
+        result = repro.partition(
+            g,
+            k,
+            C.terapart_fm(seed=1, p=96),
+            tracker=MemoryTracker(budget=budget),
+        )
+        assert result.balanced
+
+    def test_kaminpar_ooms_where_terapart_fits(self):
+        """hyperlink: KaMinPar would need 3.4 TiB on the 1.5 TiB machine;
+        TeraPart fits (Section VI-A2)."""
+        g = gen.weblike(6000, avg_degree=18, seed=35)
+        k = 64
+        probe = repro.partition(g, k, C.terapart(seed=1, p=96))
+        budget = int(probe.peak_bytes * 2.5)
+        with pytest.raises(MemoryBudgetExceeded):
+            repro.partition(
+                g,
+                k,
+                C.kaminpar(seed=1, p=96),
+                tracker=MemoryTracker(budget=budget),
+            )
+        result = repro.partition(
+            g, k, C.terapart(seed=1, p=96), tracker=MemoryTracker(budget=budget)
+        )
+        assert result.balanced

@@ -1,0 +1,157 @@
+"""Tests for partition metrics and vertex reordering."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    block_connectivity,
+    communication_volume,
+    compute_metrics,
+    read_partition,
+    write_partition,
+)
+from repro.core.partition import PartitionedGraph
+from repro.graph import generators as gen
+from repro.graph.builder import from_edges
+from repro.graph.compressed import compress_graph
+from repro.graph.ordering import bfs_order, degree_order, random_order, relabel
+
+from conftest import graphs_equal
+
+
+class TestCommunicationVolume:
+    def test_two_cliques_one_edge(self, tiny_graph):
+        pg = PartitionedGraph(
+            tiny_graph, 2, np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        )
+        # vertices 2 and 3 each need one foreign replica
+        total, per_block_max = communication_volume(pg)
+        assert total == 2
+        assert per_block_max == 1
+
+    def test_single_block_zero(self, grid_graph):
+        pg = PartitionedGraph(grid_graph, 1, np.zeros(grid_graph.n, dtype=np.int32))
+        assert communication_volume(pg) == (0, 0)
+
+    def test_cv_at_most_cut(self, family_graph):
+        """Each cut edge creates at most 2 replica pairs; cv <= 2*cut_edges."""
+        rng = np.random.default_rng(0)
+        pg = PartitionedGraph(
+            family_graph, 4, rng.integers(0, 4, size=family_graph.n).astype(np.int32)
+        )
+        total, _ = communication_volume(pg)
+        src, dst, _w = (
+            np.repeat(np.arange(family_graph.n), family_graph.degrees),
+            family_graph.adjncy,
+            None,
+        )
+        cut_edges = int((pg.partition[src] != pg.partition[dst]).sum()) // 2
+        assert total <= 2 * cut_edges
+
+
+class TestBlockConnectivity:
+    def test_connected_split(self):
+        g = gen.grid2d(6, 6)
+        part = np.zeros(36, dtype=np.int32)
+        part[18:] = 1  # two horizontal halves: both connected
+        pg = PartitionedGraph(g, 2, part)
+        assert block_connectivity(pg) == 2
+
+    def test_disconnected_block_detected(self):
+        g = gen.path(6)
+        # block 0 = {0, 5}: the two path endpoints, not connected
+        part = np.array([0, 1, 1, 1, 1, 0], dtype=np.int32)
+        pg = PartitionedGraph(g, 2, part)
+        assert block_connectivity(pg) == 1
+
+    def test_singleton_blocks_connected(self):
+        g = gen.path(3)
+        pg = PartitionedGraph(g, 3, np.array([0, 1, 2], dtype=np.int32))
+        assert block_connectivity(pg) == 3
+
+
+class TestComputeMetrics:
+    def test_full_report(self, grid_graph):
+        import repro
+        from repro.core import config as C
+
+        r = repro.partition(grid_graph, 4, C.terapart(seed=1))
+        m = compute_metrics(r.pgraph)
+        assert m.cut_weight == r.cut
+        assert m.nonempty_blocks == 4
+        assert m.boundary_vertices > 0
+        assert m.communication_volume >= m.boundary_vertices
+        assert "cut=" in m.row()
+
+
+class TestPartitionIO:
+    def test_roundtrip(self, tmp_path):
+        part = np.array([0, 1, 2, 1, 0], dtype=np.int32)
+        path = tmp_path / "g.part"
+        write_partition(path, part)
+        assert np.array_equal(read_partition(path), part)
+
+
+class TestRelabel:
+    def test_identity(self, family_graph):
+        g2 = relabel(family_graph, np.arange(family_graph.n))
+        assert graphs_equal(g2, family_graph)
+
+    def test_preserves_structure(self, weighted_graph):
+        perm = np.array([2, 0, 3, 1], dtype=np.int64)
+        g2 = relabel(weighted_graph, perm)
+        g2.validate()
+        assert g2.m == weighted_graph.m
+        assert g2.total_edge_weight == weighted_graph.total_edge_weight
+        assert g2.total_vertex_weight == weighted_graph.total_vertex_weight
+        # edge (0,1,w=5) became (2,0,w=5)
+        assert 0 in g2.neighbors(2).tolist()
+
+    def test_rejects_non_permutation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            relabel(tiny_graph, np.zeros(6, dtype=np.int64))
+        with pytest.raises(ValueError):
+            relabel(tiny_graph, np.arange(3))
+
+    def test_cut_invariant_under_relabel(self, grid_graph):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(grid_graph.n).astype(np.int64)
+        g2 = relabel(grid_graph, perm)
+        part = rng.integers(0, 4, size=grid_graph.n).astype(np.int32)
+        part2 = np.empty_like(part)
+        part2[perm] = part
+        cut1 = PartitionedGraph(grid_graph, 4, part).cut_weight()
+        cut2 = PartitionedGraph(g2, 4, part2).cut_weight()
+        assert cut1 == cut2
+
+
+class TestOrderings:
+    def test_bfs_order_is_permutation(self, family_graph):
+        order = bfs_order(family_graph, seed=1)
+        assert len(np.unique(order)) == family_graph.n
+
+    def test_bfs_handles_disconnected(self):
+        g = from_edges(6, np.array([[0, 1], [3, 4]]))
+        order = bfs_order(g, seed=2)
+        assert len(np.unique(order)) == 6
+
+    def test_degree_order_sorts(self, web_graph):
+        order = degree_order(web_graph)
+        g2 = relabel(web_graph, order)
+        degs = g2.degrees
+        assert np.all(np.diff(degs) >= 0) or degs[0] <= degs[-1]
+
+    def test_bfs_improves_kmer_compression(self):
+        """The locality story: kmer graphs compress badly until reordered."""
+        g = gen.kmer(3000, degree=4, seed=3)
+        base = compress_graph(g).stats.ratio
+        g_bfs = relabel(g, bfs_order(g, seed=3))
+        improved = compress_graph(g_bfs).stats.ratio
+        assert improved > base
+
+    def test_random_order_hurts_web_compression(self):
+        g = gen.weblike(3000, 14.0, seed=4)
+        base = compress_graph(g).stats.ratio
+        g_rand = relabel(g, random_order(g, seed=4))
+        destroyed = compress_graph(g_rand).stats.ratio
+        assert destroyed < base

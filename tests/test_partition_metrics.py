@@ -1,0 +1,115 @@
+"""Tests for PartitionedGraph metrics and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.graph.builder import from_edges
+from repro.graph.compressed import compress_graph
+
+
+class TestMaxBlockWeight:
+    def test_formula(self):
+        # (1+eps) * ceil(total/k)
+        assert max_block_weight(100, 4, 0.03) == int(1.03 * 25)
+        assert max_block_weight(101, 4, 0.0) == 26
+
+    def test_k1(self):
+        assert max_block_weight(100, 1, 0.03) >= 100
+
+
+class TestPartitionedGraph:
+    def test_cut_weight_manual(self, tiny_graph):
+        pg = PartitionedGraph(
+            tiny_graph, 2, np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        )
+        assert pg.cut_weight() == 1  # only edge (2,3) crosses
+
+    def test_cut_weight_weighted(self, weighted_graph):
+        pg = PartitionedGraph(
+            weighted_graph, 2, np.array([0, 1, 0, 1], dtype=np.int32)
+        )
+        # crossing edges: (0,1)=5, (2,3)=5, (0,3)=1, (1,2)=1 -> 12
+        assert pg.cut_weight() == 12
+
+    def test_cut_weight_compressed_matches_csr(self, web_graph):
+        part = np.random.default_rng(0).integers(0, 4, size=web_graph.n).astype(np.int32)
+        pg_csr = PartitionedGraph(web_graph, 4, part.copy())
+        pg_cmp = PartitionedGraph(compress_graph(web_graph), 4, part.copy())
+        assert pg_csr.cut_weight() == pg_cmp.cut_weight()
+
+    def test_block_weights_incremental(self, tiny_graph):
+        pg = PartitionedGraph(
+            tiny_graph, 2, np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        )
+        pg.move(0, 1)
+        assert pg.block_weights.tolist() == [2, 4]
+        pg.validate()
+        pg.move(0, 1)  # no-op move
+        assert pg.block_weights.tolist() == [2, 4]
+
+    def test_imbalance(self, tiny_graph):
+        pg = PartitionedGraph(
+            tiny_graph, 2, np.array([0, 0, 0, 0, 1, 1], dtype=np.int32)
+        )
+        assert pg.imbalance() == pytest.approx(4 / 3 - 1)
+
+    def test_is_balanced(self, tiny_graph):
+        pg = PartitionedGraph(
+            tiny_graph, 2, np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        )
+        assert pg.is_balanced(0.0)
+        pg.move(3, 0)
+        assert not pg.is_balanced(0.03)
+
+    def test_boundary_vertices(self, tiny_graph):
+        pg = PartitionedGraph(
+            tiny_graph, 2, np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        )
+        assert pg.boundary_vertices().tolist() == [2, 3]
+
+    def test_boundary_compressed_matches(self, web_graph):
+        part = np.random.default_rng(1).integers(0, 3, size=web_graph.n).astype(np.int32)
+        b_csr = PartitionedGraph(web_graph, 3, part.copy()).boundary_vertices()
+        b_cmp = PartitionedGraph(
+            compress_graph(web_graph), 3, part.copy()
+        ).boundary_vertices()
+        assert np.array_equal(np.sort(b_csr), np.sort(b_cmp))
+
+    def test_cut_fraction(self, tiny_graph):
+        pg = PartitionedGraph(
+            tiny_graph, 2, np.array([0, 0, 0, 1, 1, 1], dtype=np.int32)
+        )
+        assert pg.cut_fraction() == pytest.approx(1 / 7)
+
+    def test_nonempty_blocks(self, tiny_graph):
+        pg = PartitionedGraph(tiny_graph, 4, np.zeros(6, dtype=np.int32))
+        assert pg.nonempty_blocks() == 1
+
+    def test_rejects_bad_partition(self, tiny_graph):
+        with pytest.raises(ValueError):
+            PartitionedGraph(tiny_graph, 2, np.array([0, 0, 0, 1, 1, 5]))
+        with pytest.raises(ValueError):
+            PartitionedGraph(tiny_graph, 2, np.array([0, 0, 0]))
+        with pytest.raises(ValueError):
+            PartitionedGraph(tiny_graph, 0, np.zeros(6, dtype=np.int32))
+
+    def test_validate_detects_desync(self, tiny_graph):
+        pg = PartitionedGraph(tiny_graph, 2, np.zeros(6, dtype=np.int32))
+        pg.block_weights[0] = 999
+        with pytest.raises(AssertionError):
+            pg.validate()
+
+    def test_copy_is_independent(self, tiny_graph):
+        pg = PartitionedGraph(tiny_graph, 2, np.zeros(6, dtype=np.int32))
+        cp = pg.copy()
+        cp.move(0, 1)
+        assert pg.block(0) == 0
+        assert cp.block(0) == 1
+
+    def test_vertex_weights_in_block_weights(self):
+        g = from_edges(
+            3, np.array([[0, 1], [1, 2]]), vwgt=np.array([10, 20, 30])
+        )
+        pg = PartitionedGraph(g, 2, np.array([0, 1, 1], dtype=np.int32))
+        assert pg.block_weights.tolist() == [10, 50]

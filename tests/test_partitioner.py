@@ -1,0 +1,190 @@
+"""End-to-end tests of the multilevel driver across all presets."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import config as C
+from repro.graph import generators as gen
+from repro.graph.compressed import compress_graph
+from repro.memory import MemoryTracker
+
+PRESETS = list(C.PRESETS)
+
+
+@pytest.fixture(scope="module")
+def medium_rgg():
+    return gen.rgg2d(1500, avg_degree=8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def medium_web():
+    return gen.weblike(1500, avg_degree=12, seed=22)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_all_presets_produce_balanced_partitions(self, medium_rgg, preset):
+        r = repro.partition(medium_rgg, 8, C.preset(preset, seed=1))
+        assert r.balanced, f"{preset} violated balance: {r.imbalance}"
+        assert r.pgraph.nonempty_blocks() == 8
+        r.pgraph.validate()
+
+    @pytest.mark.parametrize("k", [2, 5, 16, 31])
+    def test_various_k(self, medium_rgg, k):
+        r = repro.partition(medium_rgg, k, C.terapart(seed=2))
+        assert r.balanced
+        assert r.pgraph.nonempty_blocks() == k
+
+    def test_k1_trivial(self, medium_rgg):
+        r = repro.partition(medium_rgg, 1, C.terapart(seed=3))
+        assert r.cut == 0
+        assert r.balanced
+
+    def test_multilevel_beats_flat_random(self, medium_rgg):
+        r = repro.partition(medium_rgg, 8, C.terapart(seed=4))
+        rng = np.random.default_rng(0)
+        from repro.core.partition import PartitionedGraph
+
+        rand_cut = PartitionedGraph(
+            medium_rgg, 8, rng.integers(0, 8, size=medium_rgg.n).astype(np.int32)
+        ).cut_weight()
+        assert r.cut < rand_cut / 3
+
+    def test_quality_parity_terapart_vs_kaminpar(self, medium_rgg):
+        """The paper: optimizations do not affect solution quality (within
+        a small tolerance over seeds)."""
+        cuts_k = [
+            repro.partition(medium_rgg, 8, C.kaminpar(seed=s)).cut
+            for s in range(3)
+        ]
+        cuts_t = [
+            repro.partition(medium_rgg, 8, C.terapart(seed=s)).cut
+            for s in range(3)
+        ]
+        assert np.mean(cuts_t) < 1.15 * np.mean(cuts_k)
+        assert np.mean(cuts_k) < 1.15 * np.mean(cuts_t)
+
+    def test_fm_improves_over_lp(self, medium_web):
+        cut_lp = np.mean(
+            [repro.partition(medium_web, 8, C.terapart(seed=s)).cut for s in range(2)]
+        )
+        cut_fm = np.mean(
+            [
+                repro.partition(medium_web, 8, C.terapart_fm(seed=s)).cut
+                for s in range(2)
+            ]
+        )
+        assert cut_fm <= cut_lp
+
+    def test_accepts_precompressed_graph(self, medium_web):
+        cg = compress_graph(medium_web)
+        r = repro.partition(cg, 4, C.terapart(seed=5))
+        assert r.balanced
+        assert len(r.partition) == medium_web.n
+
+    def test_deterministic_given_seed(self, medium_rgg):
+        r1 = repro.partition(medium_rgg, 8, C.terapart(seed=6))
+        r2 = repro.partition(medium_rgg, 8, C.terapart(seed=6))
+        assert np.array_equal(r1.partition, r2.partition)
+        assert r1.cut == r2.cut
+
+    def test_different_seeds_differ(self, medium_rgg):
+        r1 = repro.partition(medium_rgg, 8, C.terapart(seed=7))
+        r2 = repro.partition(medium_rgg, 8, C.terapart(seed=8))
+        assert not np.array_equal(r1.partition, r2.partition)
+
+
+class TestMemoryBehaviour:
+    def test_terapart_uses_less_memory_than_kaminpar(self, medium_web):
+        """The paper's headline (Fig. 1/4/6), at p=96."""
+        peak = {}
+        for preset in ("kaminpar", "terapart"):
+            r = repro.partition(medium_web, 16, C.preset(preset, seed=1, p=96))
+            peak[preset] = r.peak_bytes
+        assert peak["terapart"] < peak["kaminpar"] / 2
+
+    def test_optimization_ladder_monotone(self, medium_web):
+        """Each enabled optimization reduces peak memory (Fig. 1)."""
+        ladder = [
+            "kaminpar",
+            "kaminpar+2lp",
+            "kaminpar+2lp+compress",
+            "terapart",
+        ]
+        peaks = [
+            repro.partition(medium_web, 16, C.preset(nm, seed=2, p=96)).peak_bytes
+            for nm in ladder
+        ]
+        for a, b in zip(peaks, peaks[1:]):
+            assert b <= a * 1.05, (ladder, peaks)
+        assert peaks[-1] < peaks[0] / 2
+
+    def test_tracker_leak_free(self, medium_rgg):
+        tracker = MemoryTracker()
+        repro.partition(medium_rgg, 4, C.terapart(seed=3), tracker=tracker)
+        tracker.assert_empty()
+
+    def test_phase_peaks_recorded(self, medium_rgg):
+        tracker = MemoryTracker()
+        repro.partition(medium_rgg, 4, C.terapart(seed=4), tracker=tracker)
+        phases = tracker.phases()
+        assert any("coarsening" in p for p in phases)
+        assert any("initial-partitioning" in p for p in phases)
+        assert any("refinement" in p for p in phases)
+
+
+class TestResultFields:
+    def test_result_is_self_consistent(self, medium_rgg):
+        r = repro.partition(medium_rgg, 8, C.terapart(seed=9))
+        assert r.cut == r.pgraph.cut_weight()
+        assert r.cut_fraction == pytest.approx(r.cut / medium_rgg.m)
+        assert r.wall_seconds > 0
+        assert r.modeled_seconds > 0
+        assert r.config_name == "terapart"
+        assert r.num_levels >= 1
+        assert "initial-partitioning" in r.phase_stats
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(0, np.zeros((0, 2), dtype=np.int64))
+        r = repro.partition(g, 1, C.terapart(seed=0))
+        assert r.cut == 0
+
+    def test_graph_without_edges(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(20, np.zeros((0, 2), dtype=np.int64))
+        r = repro.partition(g, 4, C.terapart(seed=0))
+        assert r.cut == 0
+        assert r.balanced
+
+    def test_disconnected_components(self):
+        from repro.graph.builder import from_edges
+
+        parts = []
+        for c in range(4):
+            off = c * 10
+            ring = [[off + i, off + (i + 1) % 10] for i in range(10)]
+            parts.extend(ring)
+        g = from_edges(40, np.array(parts))
+        r = repro.partition(g, 4, C.terapart(seed=1))
+        assert r.balanced
+
+    def test_k_near_n(self):
+        g = gen.grid2d(5, 5)
+        r = repro.partition(g, 12, C.terapart(seed=2))
+        assert r.balanced
+
+    def test_star_graph(self):
+        g = gen.star(400)
+        r = repro.partition(g, 4, C.terapart(seed=3))
+        assert r.balanced
+
+    def test_weighted_graph(self, text_graph):
+        r = repro.partition(text_graph, 4, C.terapart(seed=4))
+        assert r.balanced
+        r.pgraph.validate()

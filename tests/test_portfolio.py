@@ -1,0 +1,48 @@
+"""Tests for multi-seed portfolio runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import config as C
+from repro.core.portfolio import partition_portfolio
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gen.rgg2d(1200, 8.0, seed=51)
+
+
+class TestPortfolio:
+    def test_best_is_minimum_balanced_cut(self, graph):
+        pr = partition_portfolio(graph, 8, C.terapart(), seeds=(0, 1, 2))
+        assert len(pr.results) == 3
+        balanced_cuts = [r.cut for r in pr.results if r.balanced]
+        assert pr.best.cut == min(balanced_cuts)
+        assert pr.best.balanced
+
+    def test_best_at_most_mean(self, graph):
+        pr = partition_portfolio(graph, 8, C.terapart(), seeds=range(4))
+        assert pr.best_cut <= pr.mean_cut
+
+    def test_statistics(self, graph):
+        pr = partition_portfolio(graph, 4, C.terapart(), seeds=(0, 1))
+        assert pr.cut_std >= 0
+        assert pr.mean_peak_bytes > 0
+        assert 0 <= pr.seed_of_best() < 2
+
+    def test_single_seed(self, graph):
+        pr = partition_portfolio(graph, 4, C.terapart(), seeds=(7,))
+        assert len(pr.results) == 1
+        assert pr.best is pr.results[0]
+
+    def test_empty_seeds_rejected(self, graph):
+        with pytest.raises(ValueError):
+            partition_portfolio(graph, 4, seeds=())
+
+    def test_balanced_preferred_over_better_cut(self, graph):
+        """Selection treats balance as primary (Mt-Metis lesson)."""
+        pr = partition_portfolio(graph, 8, C.terapart(), seeds=(0, 1, 2))
+        for r in pr.results:
+            if not r.balanced:
+                assert pr.best.balanced

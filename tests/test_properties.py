@@ -1,0 +1,102 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import config as C
+from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.graph.builder import from_edges
+from repro.graph.compressed import compress_graph, decompress_graph
+
+from conftest import graphs_equal
+
+
+def random_graph(n, e, seed, weighted=False):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(max(1, e), 2))
+    weights = rng.integers(1, 100, size=max(1, e)) if weighted else None
+    return from_edges(n, edges, weights)
+
+
+class TestBuilderProperties:
+    @given(
+        n=st.integers(2, 60),
+        e=st.integers(0, 300),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_built_graphs_always_valid(self, n, e, seed):
+        g = random_graph(n, e, seed)
+        g.validate()  # symmetric, loop-free, positive weights
+
+    @given(
+        n=st.integers(2, 40),
+        e=st.integers(1, 150),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_is_twice_edges(self, n, e, seed):
+        g = random_graph(n, e, seed)
+        assert int(g.degrees.sum()) == 2 * g.m
+
+
+class TestCompressionProperties:
+    @given(
+        n=st.integers(2, 50),
+        e=st.integers(0, 200),
+        seed=st.integers(0, 2**31),
+        weighted=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_and_monotone_offsets(self, n, e, seed, weighted):
+        g = random_graph(n, e, seed, weighted)
+        cg = compress_graph(g)
+        assert graphs_equal(decompress_graph(cg), g)
+        assert np.all(np.diff(cg.offsets) >= 0)
+        # first-edge headers reproduce indptr
+        for u in range(n):
+            assert cg.first_edge_id(u) == int(g.indptr[u])
+
+
+class TestPartitionInvariants:
+    @given(
+        seed=st.integers(0, 2**20),
+        k=st.integers(2, 8),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_partition_always_valid_and_balanced(self, seed, k):
+        g = random_graph(150, 600, seed)
+        result = repro.partition(g, k, C.terapart(seed=seed % 97))
+        pg = result.pgraph
+        pg.validate()
+        assert pg.is_balanced(0.03 + 1e-9) or g.total_vertex_weight < k
+        # cut is consistent with an independent recount
+        assert result.cut == PartitionedGraph(g, k, result.partition).cut_weight()
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_moves_preserve_weight_conservation(self, seed):
+        g = random_graph(80, 300, seed)
+        rng = np.random.default_rng(seed)
+        pg = PartitionedGraph(
+            g, 4, rng.integers(0, 4, size=g.n).astype(np.int32)
+        )
+        total = pg.block_weights.sum()
+        for _ in range(50):
+            pg.move(int(rng.integers(0, g.n)), int(rng.integers(0, 4)))
+        assert pg.block_weights.sum() == total
+        pg.validate()
+
+
+class TestMaxBlockWeight:
+    @given(
+        total=st.integers(1, 10**9),
+        k=st.integers(1, 1000),
+        eps=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=100)
+    def test_lmax_times_k_covers_total(self, total, k, eps):
+        """k blocks at the ceiling can always hold the whole graph."""
+        assert k * max_block_weight(total, k, eps) >= total

@@ -1,0 +1,174 @@
+"""Tests for LP refinement, k-way FM, and the rebalancer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FMConfig, GainTableKind, terapart
+from repro.core.context import PartitionContext
+from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.core.refinement.balancer import rebalance
+from repro.core.refinement.fm_refine import fm_refine
+from repro.core.refinement.lp_refine import lp_refine
+from repro.graph import generators as gen
+from repro.memory import MemoryTracker
+
+
+def make_ctx(graph, k=4, seed=0, **overrides):
+    return PartitionContext(
+        config=terapart(seed=seed, **overrides),
+        k=k,
+        total_vertex_weight=graph.total_vertex_weight,
+        tracker=MemoryTracker(),
+    )
+
+
+def random_partition(graph, k, seed=0):
+    rng = np.random.default_rng(seed)
+    return PartitionedGraph(
+        graph, k, rng.integers(0, k, size=graph.n).astype(np.int32)
+    )
+
+
+class TestLPRefine:
+    def test_improves_random_partition(self, grid_graph):
+        pg = random_partition(grid_graph, 4, seed=1)
+        before = pg.cut_weight()
+        ctx = make_ctx(grid_graph)
+        lmax = max_block_weight(grid_graph.total_vertex_weight, 4, 0.05)
+        lp_refine(pg, ctx, lmax)
+        assert pg.cut_weight() < before
+        pg.validate()
+
+    def test_respects_balance(self, family_graph):
+        pg = random_partition(family_graph, 4, seed=2)
+        ctx = make_ctx(family_graph)
+        lmax = max_block_weight(family_graph.total_vertex_weight, 4, 0.03)
+        lp_refine(pg, ctx, lmax)
+        assert pg.block_weights.max() <= lmax
+
+    def test_fixed_point_on_perfect_partition(self):
+        """Two disconnected cliques, already optimally split: no moves."""
+        from repro.graph.builder import from_edges
+
+        edges = []
+        for b in range(2):
+            off = b * 4
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    edges.append([off + i, off + j])
+        g = from_edges(8, np.array(edges))
+        pg = PartitionedGraph(
+            g, 2, np.array([0] * 4 + [1] * 4, dtype=np.int32)
+        )
+        ctx = make_ctx(g, k=2)
+        moves = lp_refine(pg, ctx, max_block_weight=5)
+        assert moves == 0
+        assert pg.cut_weight() == 0
+
+    def test_zero_rounds_is_noop(self, grid_graph):
+        pg = random_partition(grid_graph, 4, seed=3)
+        before = pg.partition.copy()
+        ctx = make_ctx(grid_graph)
+        lp_refine(pg, ctx, 1000, rounds=0)
+        assert np.array_equal(pg.partition, before)
+
+
+class TestFMRefine:
+    @pytest.mark.parametrize("kind", list(GainTableKind))
+    def test_improves_cut_all_gain_tables(self, grid_graph, kind):
+        pg = random_partition(grid_graph, 4, seed=4)
+        before = pg.cut_weight()
+        ctx = make_ctx(grid_graph)
+        lmax = max_block_weight(grid_graph.total_vertex_weight, 4, 0.05)
+        improvement = fm_refine(pg, ctx, lmax, FMConfig(gain_table=kind))
+        assert pg.cut_weight() < before
+        assert improvement == before - pg.cut_weight()
+        pg.validate()
+
+    def test_gain_table_kinds_equivalent_results(self, grid_graph):
+        """All three caches must drive FM through identical move sequences."""
+        cuts = {}
+        for kind in GainTableKind:
+            pg = random_partition(grid_graph, 4, seed=5)
+            ctx = make_ctx(grid_graph, seed=9)
+            lmax = max_block_weight(grid_graph.total_vertex_weight, 4, 0.05)
+            fm_refine(pg, ctx, lmax, FMConfig(gain_table=kind))
+            cuts[kind] = pg.cut_weight()
+        assert len(set(cuts.values())) == 1
+
+    def test_respects_balance(self, family_graph):
+        pg = random_partition(family_graph, 4, seed=6)
+        ctx = make_ctx(family_graph)
+        lmax = max_block_weight(family_graph.total_vertex_weight, 4, 0.03)
+        # start from an LP-refined (balanced) partition as FM expects
+        rebalance(pg, lmax)
+        fm_refine(pg, ctx, lmax)
+        assert pg.block_weights.max() <= lmax
+
+    def test_no_leak_in_tracker(self, grid_graph):
+        pg = random_partition(grid_graph, 4, seed=7)
+        ctx = make_ctx(grid_graph)
+        fm_refine(pg, ctx, 100)
+        ctx.tracker.assert_empty()
+
+    def test_fm_beats_lp_alone(self, rgg_graph):
+        """The paper: FM reduces cuts over LP-only refinement (Fig. 7)."""
+        lmax = max_block_weight(rgg_graph.total_vertex_weight, 4, 0.05)
+        pg_lp = random_partition(rgg_graph, 4, seed=8)
+        ctx = make_ctx(rgg_graph)
+        rebalance(pg_lp, lmax)
+        lp_refine(pg_lp, ctx, lmax)
+        pg_fm = PartitionedGraph(rgg_graph, 4, pg_lp.partition.copy())
+        fm_refine(pg_fm, make_ctx(rgg_graph), lmax)
+        assert pg_fm.cut_weight() <= pg_lp.cut_weight()
+
+    def test_rollback_keeps_best_prefix(self):
+        """On a graph where every move is bad, FM must end where it began."""
+        g = gen.complete(8)
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int32)
+        pg = PartitionedGraph(g, 2, part.copy())
+        before = pg.cut_weight()
+        ctx = make_ctx(g, k=2)
+        fm_refine(pg, ctx, max_block_weight=5)
+        assert pg.cut_weight() <= before
+
+
+class TestRebalance:
+    def test_fixes_overload(self, grid_graph):
+        n = grid_graph.n
+        part = np.zeros(n, dtype=np.int32)  # everything in block 0
+        pg = PartitionedGraph(grid_graph, 4, part)
+        lmax = max_block_weight(n, 4, 0.05)
+        moves = rebalance(pg, lmax)
+        assert moves > 0
+        assert pg.block_weights.max() <= lmax
+        pg.validate()
+
+    def test_noop_when_balanced(self, grid_graph):
+        pg = random_partition(grid_graph, 4, seed=9)
+        lmax = max_block_weight(grid_graph.n, 4, 0.5)
+        assert rebalance(pg, lmax) == 0
+
+    def test_moves_cheapest_vertices_first(self):
+        """Rebalancing a grid should cut less than moving random vertices."""
+        g = gen.grid2d(10, 10)
+        part = np.zeros(100, dtype=np.int32)
+        part[:60] = 0
+        part[60:] = 1
+        pg = PartitionedGraph(g, 2, part)
+        lmax = max_block_weight(100, 2, 0.03)  # 52 per block
+        rebalance(pg, lmax)
+        assert pg.block_weights.max() <= lmax
+
+    def test_weighted_vertices(self):
+        from repro.graph.builder import from_edges
+
+        g = from_edges(
+            4,
+            np.array([[0, 1], [1, 2], [2, 3]]),
+            vwgt=np.array([4, 1, 1, 1]),
+        )
+        part = np.array([0, 0, 0, 1], dtype=np.int32)
+        pg = PartitionedGraph(g, 2, part)
+        rebalance(pg, max_block_weight=5)
+        assert pg.block_weights.max() <= 5

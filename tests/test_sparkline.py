@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart rendering toolkit."""
+
+import pytest
+
+from repro.bench.sparkline import bar_chart, sparkline, xy_plot
+
+
+class TestSparkline:
+    def test_monotone_series_monotone_ticks(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert len(s) == 8
+        assert s[0] == "▁" and s[-1] == "█"
+        # monotone input -> non-decreasing tick levels
+        levels = ["▁▂▃▄▅▆▇█".index(c) for c in s]
+        assert levels == sorted(levels)
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_peak_position(self):
+        s = sparkline([0, 10, 0])
+        assert s[1] == "█"
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = bar_chart([("a", 100.0), ("b", 50.0)], width=20)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 20
+        assert lines[1].count("█") == 10
+
+    def test_labels_aligned(self):
+        out = bar_chart([("short", 4.0), ("a-longer-label", 2.0)])
+        lines = out.splitlines()
+        # bars start in the same column regardless of label length
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_empty(self):
+        assert bar_chart([]) == "(empty)"
+
+    def test_unit_suffix(self):
+        out = bar_chart([("x", 3.5)], unit="ms")
+        assert "ms" in out
+
+
+class TestXYPlot:
+    def test_marks_and_legend(self):
+        out = xy_plot({"speedup": ([1, 2, 4], [1.0, 1.9, 3.5])})
+        assert "s" in out  # series mark
+        assert "s=speedup" in out
+
+    def test_extremes_on_grid_edges(self):
+        out = xy_plot({"a": ([0, 10], [0, 10])}, width=20, height=5)
+        lines = out.splitlines()
+        assert "a" in lines[0]  # max y on the top row
+        assert "a" in lines[4]  # min y on the bottom row
+
+    def test_multiple_series(self):
+        out = xy_plot(
+            {"up": ([1, 2], [1, 2]), "down": ([1, 2], [2, 1])}
+        )
+        assert "u" in out and "d" in out
+
+    def test_empty(self):
+        assert xy_plot({}) == "(empty)"
+
+    def test_axis_annotations(self):
+        out = xy_plot({"a": ([3, 7], [10, 20])})
+        assert "3.00" in out and "7.00" in out
+        assert "10.00" in out and "20.00" in out

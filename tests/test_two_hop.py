@@ -1,0 +1,106 @@
+"""Tests for two-hop matching (coarsening progress on irregular graphs)."""
+
+import numpy as np
+
+from repro.core.coarsening.lp_clustering import ClusteringResult
+from repro.core.coarsening.two_hop import two_hop_match
+from repro.graph import generators as gen
+
+
+def make_result(n, clusters, vwgt, favorites):
+    clusters = np.asarray(clusters, dtype=np.int64)
+    weights = np.zeros(n, dtype=np.int64)
+    np.add.at(weights, clusters, vwgt)
+    return ClusteringResult(
+        clusters=clusters,
+        cluster_weights=weights,
+        num_clusters=len(np.unique(clusters)),
+        favorites=np.asarray(favorites, dtype=np.int64),
+    )
+
+
+class TestTwoHopMatch:
+    def test_merges_singletons_with_shared_favorite(self):
+        # 0 and 1 are singletons that both favor cluster 2
+        vwgt = np.ones(3, dtype=np.int64)
+        res = make_result(3, [0, 1, 2], vwgt, favorites=[2, 2, 2])
+        merges = two_hop_match(res, vwgt, max_cluster_weight=10)
+        assert merges == 1
+        assert res.clusters[0] == res.clusters[1]
+        assert res.num_clusters == 2
+
+    def test_respects_weight_cap(self):
+        # 0 and 1 both favor cluster 2 but are too heavy to pair up;
+        # vertex 2 favors itself so it is not a candidate
+        vwgt = np.array([6, 6, 1], dtype=np.int64)
+        res = make_result(3, [0, 1, 2], vwgt, favorites=[2, 2, 2])
+        merges = two_hop_match(res, vwgt, max_cluster_weight=10)
+        assert merges == 0
+        assert res.num_clusters == 3
+
+    def test_self_favorite_is_not_a_candidate(self):
+        """A favorite equal to the own cluster means "no favorite"."""
+        vwgt = np.ones(4, dtype=np.int64)
+        res = make_result(4, [0, 1, 2, 3], vwgt, favorites=[2, 3, 2, 3])
+        # only 0 (favors 2) and 1 (favors 3) are candidates; they differ
+        merges = two_hop_match(res, vwgt, max_cluster_weight=10)
+        assert merges == 0
+
+    def test_pairs_by_shared_favorite(self):
+        vwgt = np.ones(5, dtype=np.int64)
+        res = make_result(5, [0, 1, 2, 3, 4], vwgt, favorites=[4, 4, 4, 4, 4])
+        merges = two_hop_match(res, vwgt, max_cluster_weight=10)
+        assert merges == 2  # four candidates (0..3) pair into two merges
+
+    def test_non_singletons_untouched(self):
+        vwgt = np.ones(4, dtype=np.int64)
+        # cluster 0 has two members; 2 and 3 are singletons
+        res = make_result(4, [0, 0, 2, 3], vwgt, favorites=[0, 0, 0, 0])
+        before = res.clusters.copy()
+        two_hop_match(res, vwgt, max_cluster_weight=10)
+        # members of cluster 0 never move
+        assert res.clusters[0] == before[0]
+        assert res.clusters[1] == before[1]
+
+    def test_no_favorites_is_noop(self):
+        vwgt = np.ones(3, dtype=np.int64)
+        res = make_result(3, [0, 1, 2], vwgt, favorites=[0, 1, 2])
+        res.favorites = None
+        assert two_hop_match(res, vwgt, 10) == 0
+
+    def test_weights_stay_consistent(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        vwgt = rng.integers(1, 4, size=n).astype(np.int64)
+        clusters = np.arange(n, dtype=np.int64)  # all singletons
+        favorites = rng.integers(0, 5, size=n)
+        weights = np.zeros(n, dtype=np.int64)
+        np.add.at(weights, clusters, vwgt)
+        res = ClusteringResult(clusters, weights, n, favorites=favorites)
+        two_hop_match(res, vwgt, max_cluster_weight=6)
+        expected = np.zeros(n, dtype=np.int64)
+        np.add.at(expected, res.clusters, vwgt)
+        assert np.array_equal(expected, res.cluster_weights)
+
+    def test_improves_shrink_on_star(self):
+        """On a star graph LP stalls (hub cluster fills instantly); two-hop
+        matching pairs up the leaves."""
+        from repro.core.config import terapart
+        from repro.core.context import PartitionContext
+        from repro.core.coarsening.lp_clustering import (
+            label_propagation_clustering,
+        )
+        from repro.memory import MemoryTracker
+
+        g = gen.star(200)
+        ctx = PartitionContext(
+            config=terapart(seed=1),
+            k=2,
+            total_vertex_weight=g.total_vertex_weight,
+            tracker=MemoryTracker(),
+        )
+        res = label_propagation_clustering(g, ctx, max_cluster_weight=4)
+        before = res.num_clusters
+        merges = two_hop_match(res, np.asarray(g.vwgt), 4)
+        assert merges > 0
+        assert res.num_clusters < before
