@@ -78,6 +78,10 @@ class PartitionerConfig:
     p: int = 8  # virtual threads
     compress_input: bool = True
     compression_intervals: bool = True
+    # Bound (bytes) of the decoded-chunk LRU cache used during repeated LP
+    # scans over a compressed level; 0 disables it.  Cache bytes are
+    # registered with the MemoryTracker so peak-memory figures stay honest.
+    decode_cache_bytes: int = 0
     coarsening: CoarseningConfig = field(default_factory=CoarseningConfig)
     initial: InitialPartitioningConfig = field(
         default_factory=InitialPartitioningConfig

@@ -12,6 +12,54 @@ from __future__ import annotations
 
 import numpy as np
 
+# Decode-work factor of compressed vs CSR traversal, measured once per
+# process by `measured_decode_work_factor` (fallback if measurement is
+# impossible, e.g. a stripped-down environment).
+_FALLBACK_WORK_FACTOR = 1.3
+_work_factor_cache: float | None = None
+
+
+def measured_decode_work_factor(*, refresh: bool = False) -> float:
+    """Per-edge work factor of compressed chunk traversal relative to CSR.
+
+    Times the vectorized bulk decode against the raw CSR gather on a fixed
+    weblike instance (best-of-5 to damp scheduler noise) and caches the
+    ratio for the process.  The probe uses chunks of ~1000 vertices -- the
+    scale LP actually traverses -- so the ratio reflects per-edge work, not
+    per-call fixed overhead.  Clamped to ``[1.05, 8.0]`` so cost-model
+    figures stay sane on noisy machines; the fallback 1.3 (the paper's ~6%
+    overhead plus interpreter slack) is used only if measurement fails.
+    """
+    global _work_factor_cache
+    if _work_factor_cache is not None and not refresh:
+        return _work_factor_cache
+    try:
+        import time
+
+        from repro.graph.compressed import compress_graph
+        from repro.graph.generators import weblike
+
+        g = weblike(8000, avg_degree=10, seed=1)
+        cg = compress_graph(g)
+        chunks = np.array_split(np.arange(g.n, dtype=np.int64), 8)
+
+        def best_of(graph, reps: int = 5) -> float:
+            best = float("inf")
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                for c in chunks:
+                    chunk_adjacency(graph, c)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_csr = best_of(g)
+        t_cmp = best_of(cg)
+        factor = t_cmp / t_csr if t_csr > 0 else _FALLBACK_WORK_FACTOR
+        _work_factor_cache = float(min(8.0, max(1.05, factor)))
+    except Exception:
+        _work_factor_cache = _FALLBACK_WORK_FACTOR
+    return _work_factor_cache
+
 
 def traversal_cost(graph) -> tuple[float, float]:
     """Per-directed-edge ``(bytes_moved, work_factor)`` of scanning ``graph``.
@@ -19,6 +67,8 @@ def traversal_cost(graph) -> tuple[float, float]:
     Raw CSR moves 16 bytes per edge (ID + weight); a compressed graph moves
     only its encoded bytes but pays a decode-work overhead -- the mechanism
     behind the paper's "compression costs ~6% time, saves 3-26x memory".
+    The decode-work factor is measured from the actual bulk-decode path
+    (see :func:`measured_decode_work_factor`), not hardcoded.
     """
     if hasattr(graph, "indptr"):
         return 16.0, 1.0
@@ -27,7 +77,7 @@ def traversal_cost(graph) -> tuple[float, float]:
         data_bytes = len(graph.data) / graph.num_directed_edges
     else:
         data_bytes = 2.0
-    return data_bytes + 8.0 / max(1, graph.n), 1.3
+    return data_bytes + 8.0 / max(1, graph.n), measured_decode_work_factor()
 
 
 def chunk_adjacency(
@@ -52,7 +102,9 @@ def chunk_adjacency(
         offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, degs)
         gather = np.repeat(starts, degs) + offsets
         return owner, graph.adjncy[gather], np.asarray(graph.adjwgt)[gather]
-    # compressed graph: per-neighborhood decode
+    if hasattr(graph, "decode_chunk"):  # compressed graph: bulk decode
+        return graph.decode_chunk(chunk)
+    # generic fallback: per-neighborhood decode via the protocol
     owners: list[np.ndarray] = []
     nbrs: list[np.ndarray] = []
     wgts: list[np.ndarray] = []
@@ -70,7 +122,11 @@ def chunk_adjacency(
 
 
 def full_adjacency(graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flattened adjacency of the whole graph: ``(src, dst, weight)``."""
+    """Flattened adjacency of the whole graph: ``(src, dst, weight)``.
+
+    For compressed graphs this hits the bulk decode path (one contiguous
+    byte scan), not the per-vertex loop.
+    """
     if hasattr(graph, "indptr"):
         src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
         return src, graph.adjncy, np.asarray(graph.adjwgt)

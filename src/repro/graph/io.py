@@ -172,23 +172,40 @@ def stream_compressed(
 # --------------------------------------------------------------------- #
 # METIS text format
 # --------------------------------------------------------------------- #
+def _write_metis_body(graph, f) -> None:
+    """Write METIS header + adjacency lines via one bulk adjacency scan.
+
+    Using :func:`full_adjacency` means compressed graphs are decoded once
+    through the vectorized path instead of per vertex.
+    """
+    from repro.graph.access import full_adjacency
+
+    fmt = ""
+    if graph.has_edge_weights or graph.has_vertex_weights:
+        fmt = f" {'1' if graph.has_vertex_weights else '0'}{'1' if graph.has_edge_weights else '0'}"
+    f.write(f"{graph.n} {graph.m}{fmt}\n")
+    _src, nbrs, wgts = full_adjacency(graph)
+    degrees = np.asarray(graph.degrees)
+    nbrs_list = (np.asarray(nbrs) + 1).tolist()
+    wgts_list = np.asarray(wgts).tolist()
+    lo = 0
+    for u in range(graph.n):
+        parts: list[str] = []
+        if graph.has_vertex_weights:
+            parts.append(str(int(graph.vwgt[u])))
+        hi = lo + int(degrees[u])
+        for i in range(lo, hi):
+            parts.append(str(nbrs_list[i]))
+            if graph.has_edge_weights:
+                parts.append(str(wgts_list[i]))
+        lo = hi
+        f.write(" ".join(parts) + "\n")
+
+
 def write_metis(graph: CSRGraph, path: str | Path) -> None:
     """Write the METIS text format (1-indexed)."""
     with Path(path).open("w") as f:
-        fmt = ""
-        if graph.has_edge_weights or graph.has_vertex_weights:
-            fmt = f" {'1' if graph.has_vertex_weights else '0'}{'1' if graph.has_edge_weights else '0'}"
-        f.write(f"{graph.n} {graph.m}{fmt}\n")
-        for u in range(graph.n):
-            parts: list[str] = []
-            if graph.has_vertex_weights:
-                parts.append(str(int(graph.vwgt[u])))
-            nbrs, wgts = graph.neighbors_and_weights(u)
-            for v, w in zip(np.asarray(nbrs).tolist(), np.asarray(wgts).tolist()):
-                parts.append(str(v + 1))
-                if graph.has_edge_weights:
-                    parts.append(str(w))
-            f.write(" ".join(parts) + "\n")
+        _write_metis_body(graph, f)
 
 
 def read_metis(path_or_file) -> CSRGraph:
@@ -240,20 +257,6 @@ def read_metis(path_or_file) -> CSRGraph:
 def roundtrip_text(graph: CSRGraph) -> CSRGraph:
     """Write+read through METIS text in memory (for tests)."""
     buf = _io.StringIO()
-    n, m = graph.n, graph.m
-    fmt = ""
-    if graph.has_edge_weights or graph.has_vertex_weights:
-        fmt = f" {'1' if graph.has_vertex_weights else '0'}{'1' if graph.has_edge_weights else '0'}"
-    buf.write(f"{n} {m}{fmt}\n")
-    for u in range(n):
-        parts: list[str] = []
-        if graph.has_vertex_weights:
-            parts.append(str(int(graph.vwgt[u])))
-        nbrs, wgts = graph.neighbors_and_weights(u)
-        for v, w in zip(np.asarray(nbrs).tolist(), np.asarray(wgts).tolist()):
-            parts.append(str(v + 1))
-            if graph.has_edge_weights:
-                parts.append(str(w))
-        buf.write(" ".join(parts) + "\n")
+    _write_metis_body(graph, buf)
     buf.seek(0)
     return read_metis(buf)

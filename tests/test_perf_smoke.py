@@ -1,0 +1,52 @@
+"""Tier-1 perf smoke guard for the vectorized decode path (ISSUE 1).
+
+Compressed chunk traversal must stay within 15x of the raw CSR gather on a
+fixed weblike instance.  The seed's per-vertex scalar decode sat at
+50-100x, so this guard fails loudly if a future change silently reroutes
+traversal back through a Python-per-vertex loop; the vectorized bulk path
+measures ~10x on an idle machine, leaving headroom for timer noise (both
+sides are best-of-5 on the same interpreter).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.graph.access import chunk_adjacency
+from repro.graph.compressed import compress_graph
+from repro.graph.generators import weblike
+
+MAX_SLOWDOWN = 15.0
+
+
+def _best_of(fn, reps: int = 5) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_compressed_traversal_within_envelope():
+    g = weblike(10_000, avg_degree=10, seed=42)
+    cg = compress_graph(g)
+    order = np.random.default_rng(0).permutation(g.n).astype(np.int64)
+    chunks = np.array_split(order, 16)
+
+    def scan(graph):
+        for c in chunks:
+            chunk_adjacency(graph, c)
+
+    scan(g)  # warm both paths (allocator, caches)
+    scan(cg)
+    t_csr = _best_of(lambda: scan(g))
+    t_cmp = _best_of(lambda: scan(cg))
+    slowdown = t_cmp / t_csr
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"compressed traversal {slowdown:.1f}x CSR "
+        f"(csr {t_csr * 1e3:.2f} ms, compressed {t_cmp * 1e3:.2f} ms); "
+        f"did a change reintroduce a per-vertex decode loop?"
+    )
