@@ -32,6 +32,7 @@ from repro.graph import generators
 from repro.graph.compressed import compress_graph
 from repro.graph.io import read_binary, read_metis, stream_compressed, write_binary
 from repro.graph.stats import compute_stats
+from repro.parallel.runtime import SCHEDULE_POLICIES
 
 
 def _load_graph(path: str, *, compressed: bool = False):
@@ -48,6 +49,15 @@ def _load_graph(path: str, *, compressed: bool = False):
 def cmd_partition(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, compressed=args.stream_compress)
     cfg = C.preset(args.preset, seed=args.seed, p=args.threads, epsilon=args.epsilon)
+    if args.selfcheck or args.schedule_policy is not None or args.schedule_seed:
+        cfg = cfg.with_(
+            debug=C.DebugConfig(
+                validation_level=2 if args.selfcheck else 0,
+                detect_conflicts=bool(args.selfcheck),
+                schedule_policy=args.schedule_policy,
+                schedule_seed=args.schedule_seed,
+            )
+        )
     t0 = time.perf_counter()
     if args.seeds > 1:
         from repro.core.portfolio import partition_portfolio
@@ -74,6 +84,20 @@ def cmd_partition(args: argparse.Namespace) -> int:
         from repro.core.metrics import compute_metrics
 
         print("metrics:    " + compute_metrics(result.pgraph).row())
+    if result.selfcheck is not None:
+        sc = result.selfcheck
+        n_conflicts = len(sc["conflicts"])
+        print(
+            f"selfcheck:  {sc['invariant_checks']} invariant checks ok, "
+            f"{sc['regions_checked']} parallel regions / "
+            f"{sc['accesses_recorded']} accesses race-checked, "
+            f"{n_conflicts} conflicts "
+            f"(schedule {sc['schedule_policy']}, seed {sc['schedule_seed']})"
+        )
+        if n_conflicts:
+            for c in sc["conflicts"][:10]:
+                print(f"  {c}")
+            return 1
     return 0
 
 
@@ -141,6 +165,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream-compress",
         action="store_true",
         help="stream the file directly into compressed memory",
+    )
+    p.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help="run phase-boundary invariant checks and the conflict "
+        "detector; exit 1 if any conflict is found",
+    )
+    p.add_argument(
+        "--schedule-policy",
+        choices=list(SCHEDULE_POLICIES),
+        default=None,
+        help="replay all simulated-parallel loops under this chunk "
+        "interleaving (default: model issue order)",
+    )
+    p.add_argument(
+        "--schedule-seed",
+        type=int,
+        default=0,
+        help="seed for the 'random' schedule policy",
     )
     p.set_defaults(func=cmd_partition)
 

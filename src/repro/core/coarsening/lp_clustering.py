@@ -95,6 +95,12 @@ def label_propagation_clustering(
     max_degree = graph.max_degree if not two_phase else 0
     handles = _charge_rating_maps(graph, ctx, two_phase, t_bump)
     phase_name = "clustering-2p" if two_phase else "clustering-classic"
+    # verify layer: declared synchronization classes of the shared arrays.
+    # Neighbor-label loads are relaxed (LP tolerates staleness); label
+    # stores and cluster-weight updates are atomic (the paper's CAS loop)
+    # unless the test-only race injection drops the CAS.
+    det = ctx.detector
+    inject_race = ctx.config.debug.inject_lp_weight_race
     result = ClusteringResult(
         clusters, cluster_weights, n, favorites=favorites
     )
@@ -122,10 +128,21 @@ def label_propagation_clustering(
                 active[:] = False
             moves = 0
             bumped_total = 0
-            for _tid, chunk in runtime.schedule(order):
+            sched = runtime.schedule(order)
+            chunk_weights = None
+            if runtime.schedule_policy == "heavy-first":
+                degs = np.asarray(graph.degrees)
+                chunk_weights = np.array(
+                    [int(degs[c].sum()) for c in sched.chunks], dtype=np.int64
+                )
+            if det is not None:
+                det.begin_region(f"{phase_name}-round{_round}")
+            for _tid, chunk in runtime.execute(sched, weights=chunk_weights):
                 owner, nbrs, wgts = chunk_adjacency(graph, chunk)
                 if len(owner) == 0:
                     continue
+                if det is not None:
+                    det.record_read("clusters", nbrs)
                 pair_owner, pair_cluster, pair_rating = segment_reduce_ratings(
                     owner, clusters[nbrs], wgts, n
                 )
@@ -187,21 +204,41 @@ def label_propagation_clustering(
                     bytes_moved=edge_bytes * len(owner),
                     atomic_ops=bumped_pairs,
                 )
+                moved_us: list[int] = []
+                touched_weights: list[int] = []
                 for u, c in zip(
                     us[want_move].tolist(), best_cluster[want_move].tolist()
                 ):
                     w = int(vwgt[u])
                     if cluster_weights[c] + w > max_cluster_weight:
                         continue
-                    cluster_weights[clusters[u]] -= w
+                    prev = int(clusters[u])
+                    cluster_weights[prev] -= w
                     cluster_weights[c] += w
                     clusters[u] = c
                     moves += 1
+                    if det is not None:
+                        moved_us.append(u)
+                        touched_weights.append(prev)
+                        touched_weights.append(c)
                     if cc.active_set:
                         # a move invalidates the cached decision of u and
                         # of every neighbor of u
                         active[u] = True
                         active[graph.neighbors(u)] = True
+                if det is not None and moved_us:
+                    det.record_atomic("clusters", moved_us)
+                    if inject_race:
+                        det.record_write("cluster-weights", touched_weights)
+                    else:
+                        det.record_atomic("cluster-weights", touched_weights)
+                if det is not None and two_phase and bumped_pairs:
+                    det.record_atomic(
+                        "shared-sparse-array",
+                        pair_cluster[bumped_mask[pair_owner]],
+                    )
+            if det is not None:
+                det.end_region()
             # straggler span for classic LP: the largest neighborhood is
             # scanned by a single thread (two-phase parallelizes it)
             if not two_phase:

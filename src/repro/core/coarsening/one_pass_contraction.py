@@ -69,7 +69,8 @@ def contract_one_pass(
     )
     pprime_aid = tracker.alloc("coarse-indptr", 8 * (n_coarse + 1), "graph")
 
-    dual = DualCounter()
+    det = ctx.detector
+    dual = DualCounter(detector=det)
     eprime_dst = np.empty(m2, dtype=np.int64)  # old cluster IDs, remapped later
     eprime_w = np.empty(m2, dtype=np.int64)
     pprime = np.zeros(n_coarse + 1, dtype=np.int64)
@@ -83,10 +84,22 @@ def contract_one_pass(
     # bounded perturbation (a full shuffle would destroy the vertex-ID
     # locality real runs retain, measurably hurting downstream quality).
     sched = runtime.schedule(np.arange(n_coarse, dtype=np.int64))
+    # the jitter is always drawn so the rng stream is independent of any
+    # schedule-policy override the verify layer installs
     jitter = ctx.rng.uniform(0.0, 2.0 * runtime.p, size=sched.num_chunks)
-    chunk_order = np.argsort(np.arange(sched.num_chunks) + jitter)
-    for ci in chunk_order.tolist():
-        leader_idx = sched.chunks[ci]  # indices into `leaders`
+    default_order = np.argsort(np.arange(sched.num_chunks) + jitter)
+    chunk_weights = None
+    if runtime.schedule_policy == "heavy-first":
+        chunk_weights = np.array(
+            [int((member_ends[c] - member_starts[c]).sum()) for c in sched.chunks],
+            dtype=np.int64,
+        )
+    if det is not None:
+        det.begin_region("contraction")
+    for _tid, leader_idx in runtime.execute(
+        sched, weights=chunk_weights, default_order=default_order
+    ):
+        # leader_idx: indices into `leaders`
         chunk_leaders = leaders[leader_idx]
         # flatten all member vertices of this chunk's clusters
         counts = member_ends[leader_idx] - member_starts[leader_idx]
@@ -132,6 +145,19 @@ def contract_one_pass(
         new_id_of_leader[chunk_leaders] = new_ids
         new_vwgt[new_ids] = cluster_weights[chunk_leaders]
 
+        if det is not None:
+            # plain writes: the dual counter's pre-increment values must
+            # make every chunk's slices disjoint -- the detector verifies it
+            if len(po):
+                det.record_write(
+                    "coarse-edges", np.arange(d_prev, d_prev + len(po))
+                )
+            det.record_write(
+                "coarse-indptr", np.arange(s_prev, s_prev + len(leader_idx))
+            )
+            det.record_write("new-id-of-leader", chunk_leaders)
+            det.record_write("coarse-vwgt", new_ids)
+
         tracker.touch(eprime_aid, 16 * dual.d)
         runtime.record(
             "contraction",
@@ -140,6 +166,8 @@ def contract_one_pass(
             atomic_ops=1,
         )
 
+    if det is not None:
+        det.end_region()
     m2_coarse = dual.d
     assert dual.s == n_coarse
     pprime[n_coarse] = m2_coarse

@@ -57,6 +57,31 @@ class FMConfig:
 
 
 @dataclass(frozen=True)
+class DebugConfig:
+    """Knobs of the verify layer (schedule fuzzing + invariant checks).
+
+    All default to off: the production path pays nothing for the verify
+    layer's existence.
+    """
+
+    # 0 = off, 1 = cheap phase-boundary checks (partition / coarse-mapping
+    # consistency), 2 = adds the deep O(m)-ish checks (graph symmetry,
+    # compressed roundtrip, gain-table-vs-recompute)
+    validation_level: int = 0
+    # attach a ConflictDetector to the runtime; conflicts are reported in
+    # PartitionResult.selfcheck
+    detect_conflicts: bool = False
+    # chunk execution order override for every simulated-parallel loop
+    # (None = model default; see repro.parallel.runtime.SCHEDULE_POLICIES)
+    schedule_policy: str | None = None
+    schedule_seed: int = 0
+    # test-only fault injection: drop the CAS loop on the cluster-weight
+    # array in LP clustering, declaring its updates as plain writes -- the
+    # deliberate race the conflict detector must catch
+    inject_lp_weight_race: bool = False
+
+
+@dataclass(frozen=True)
 class InitialPartitioningConfig:
     """Portfolio of randomized greedy-graph-growing bipartitioners + 2-way FM."""
 
@@ -89,6 +114,7 @@ class PartitionerConfig:
     use_fm: bool = False
     fm: FMConfig = field(default_factory=FMConfig)
     lp_refinement_rounds: int = 3
+    debug: DebugConfig = field(default_factory=DebugConfig)
 
     def with_(self, **kwargs) -> "PartitionerConfig":
         return replace(self, **kwargs)

@@ -24,7 +24,12 @@ class PartitionContext:
 
     def __post_init__(self) -> None:
         if self.runtime is None:
-            self.runtime = ParallelRuntime(self.config.p)
+            dbg = self.config.debug
+            self.runtime = ParallelRuntime(
+                self.config.p,
+                schedule_policy=dbg.schedule_policy,
+                schedule_seed=dbg.schedule_seed,
+            )
         if self.rng is None:
             self.rng = np.random.default_rng(self.config.seed)
         if self.k < 1:
@@ -33,6 +38,16 @@ class PartitionContext:
     @property
     def epsilon(self) -> float:
         return self.config.epsilon
+
+    @property
+    def debug(self):
+        """The verify-layer knobs (``config.debug``)."""
+        return self.config.debug
+
+    @property
+    def detector(self):
+        """The attached conflict detector, or None."""
+        return self.runtime.detector
 
     def max_block_weight(self) -> int:
         from repro.core.partition import max_block_weight

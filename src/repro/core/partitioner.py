@@ -48,6 +48,10 @@ class PartitionResult:
     num_levels: int
     config_name: str
     phase_stats: dict = field(default_factory=dict)
+    # verify-layer report (populated when config.debug enables validation
+    # or conflict detection): invariant-check count, detector conflicts,
+    # schedule policy used
+    selfcheck: dict | None = None
 
     @property
     def partition(self) -> np.ndarray:
@@ -71,7 +75,23 @@ def partition(
     """
     config = config or terapart()
     tracker = tracker if tracker is not None else MemoryTracker()
-    runtime = runtime or ParallelRuntime(config.p)
+    dbg = config.debug
+    runtime = runtime or ParallelRuntime(
+        config.p,
+        schedule_policy=dbg.schedule_policy,
+        schedule_seed=dbg.schedule_seed,
+    )
+    detector = runtime.detector
+    if dbg.detect_conflicts and detector is None:
+        from repro.verify.conflicts import ConflictDetector
+
+        detector = ConflictDetector()
+        runtime.attach_detector(detector)
+    inv = None
+    checks_run = 0
+    if dbg.validation_level:
+        from repro.verify import invariants as inv
+
     ctx = PartitionContext(
         config=config,
         k=k,
@@ -96,12 +116,35 @@ def partition(
         else:
             input_aid = tracker.alloc("input-graph", top.nbytes, "graph")
 
+        if inv is not None and dbg.validation_level >= 2:
+            if top is not graph:
+                inv.check_compressed_roundtrip(
+                    graph, top, sample=256, phase="compression"
+                )
+                checks_run += 1
+            elif hasattr(graph, "indptr"):
+                inv.check_csr(graph, phase="input")
+                checks_run += 1
+
         # ---------------- coarsening ---------------- #
         with tracker.phase("coarsening"):
             levels = coarsen_hierarchy(top, ctx)
 
         graphs = [top] + [lvl.graph for lvl in levels]
         coarsest = graphs[-1]
+
+        if inv is not None:
+            for li, lvl in enumerate(levels):
+                inv.check_coarse_mapping(
+                    graphs[li],
+                    lvl.graph,
+                    lvl.fine_to_coarse,
+                    phase=f"coarsening-level{li}",
+                )
+                checks_run += 1
+                if dbg.validation_level >= 2:
+                    inv.check_csr(lvl.graph, phase=f"coarsening-level{li}")
+                    checks_run += 1
 
         # ---------------- initial partitioning ---------------- #
         deep_state = None
@@ -160,6 +203,9 @@ def partition(
 
         # ---------------- uncoarsening + refinement ---------------- #
         pgraph = PartitionedGraph(coarsest, k, part)
+        if inv is not None:
+            inv.check_partition(pgraph, phase="initial-partitioning")
+            checks_run += 1
         for li in range(len(graphs) - 1, -1, -1):
             with tracker.phase(f"refinement-level{li}"):
                 if deep_state is not None and not deep_state.done():
@@ -184,6 +230,9 @@ def partition(
                     else:
                         fm_refine(pgraph, ctx, lmax)
                 rebalance(pgraph, limits)
+            if inv is not None:
+                inv.check_partition(pgraph, phase=f"refinement-level{li}")
+                checks_run += 1
             if li > 0:
                 # project to the next finer graph and drop the coarse level
                 fine_to_coarse = levels[li - 1].fine_to_coarse
@@ -211,12 +260,31 @@ def partition(
             lp_refine(pgraph, ctx, lmax)
             rebalance(pgraph, lmax)
 
+        if inv is not None:
+            inv.check_partition(pgraph, phase="final")
+            checks_run += 1
+
         if input_aid is not None:
             tracker.free(input_aid)
 
     wall = time.perf_counter() - t0
     model = CostModel()
     modeled = model.total_time(runtime.all_stats(), runtime.p)
+    selfcheck = None
+    if dbg.validation_level or dbg.detect_conflicts:
+        selfcheck = {
+            "validation_level": dbg.validation_level,
+            "invariant_checks": checks_run,
+            "conflicts": []
+            if detector is None
+            else [str(c) for c in detector.conflicts],
+            "regions_checked": 0 if detector is None else detector.regions_checked,
+            "accesses_recorded": 0
+            if detector is None
+            else detector.accesses_recorded,
+            "schedule_policy": dbg.schedule_policy or "issue",
+            "schedule_seed": dbg.schedule_seed,
+        }
     return PartitionResult(
         pgraph=pgraph,
         cut=pgraph.cut_weight(),
@@ -230,4 +298,5 @@ def partition(
         num_levels=len(levels),
         config_name=config.name,
         phase_stats={name: s for name, s in runtime.all_stats().items()},
+        selfcheck=selfcheck,
     )

@@ -54,6 +54,14 @@ def fm_refine(
         table = make_gain_table(cfg.gain_table, pgraph, ctx.tracker)
         try:
             improvement = _fm_pass(pgraph, ctx, table, max_block_weight, cfg)
+            if ctx.config.debug.validation_level >= 2:
+                # after a pass (moves + rollback) the incrementally
+                # maintained table must still match a recompute
+                from repro.verify.invariants import check_gain_table_vs_recompute
+
+                check_gain_table_vs_recompute(
+                    table, pgraph, sample=64, phase="fm-gain-table"
+                )
         finally:
             table.free(ctx.tracker)
         recompute = getattr(table, "recompute_edges", 0)

@@ -16,11 +16,22 @@ import numpy as np
 
 
 class AtomicCounter:
-    """A single 64-bit counter with fetch-add semantics."""
+    """A single 64-bit counter with fetch-add semantics.
 
-    def __init__(self, value: int = 0) -> None:
+    ``detector``/``name`` optionally report every operation to an attached
+    :class:`~repro.verify.conflicts.ConflictDetector` as a synchronized
+    access, so atomic traffic never counts as a data race.
+    """
+
+    def __init__(self, value: int = 0, *, detector=None, name: str = "atomic-counter") -> None:
         self._value = int(value)
         self.op_count = 0
+        self._detector = detector
+        self._name = name
+
+    def _note(self) -> None:
+        if self._detector is not None:
+            self._detector.record_atomic(self._name, (0,))
 
     @property
     def value(self) -> int:
@@ -32,15 +43,21 @@ class AtomicCounter:
     def fetch_add(self, delta: int) -> int:
         """Add ``delta`` and return the value *before* the addition."""
         self.op_count += 1
+        self._note()
         prev = self._value
         self._value += int(delta)
         return prev
 
     def store(self, value: int) -> None:
+        # an atomic store is one bus transaction like any other atomic op;
+        # the contention ledger must see it or store-based phases undercount
+        self.op_count += 1
+        self._note()
         self._value = int(value)
 
     def compare_exchange(self, expected: int, desired: int) -> bool:
         self.op_count += 1
+        self._note()
         if self._value == expected:
             self._value = int(desired)
             return True
@@ -57,9 +74,13 @@ class DualCounter:
     and returns the pre-update pair.
     """
 
-    def __init__(self, d: int = 0, s: int = 0) -> None:
+    def __init__(
+        self, d: int = 0, s: int = 0, *, detector=None, name: str = "dual-counter"
+    ) -> None:
         self._packed = (int(s) << 64) | int(d)
         self.cas_count = 0
+        self._detector = detector
+        self._name = name
 
     @staticmethod
     def _pack(d: int, s: int) -> int:
@@ -94,6 +115,8 @@ class DualCounter:
             d_prev, s_prev = self._unpack(observed)
             desired = self._pack(d_prev + delta_d, s_prev + delta_s)
             self.cas_count += 1
+            if self._detector is not None:
+                self._detector.record_atomic(self._name, (0,))
             if self._packed == observed:
                 self._packed = desired
                 return d_prev, s_prev
@@ -109,11 +132,15 @@ class AtomicArray:
     list ``L_t``.
     """
 
-    def __init__(self, data: np.ndarray) -> None:
+    def __init__(
+        self, data: np.ndarray, *, detector=None, name: str = "atomic-array"
+    ) -> None:
         if data.dtype != np.int64:
             raise TypeError(f"AtomicArray requires int64, got {data.dtype}")
         self._data = data
         self.op_count = 0
+        self._detector = detector
+        self._name = name
 
     @property
     def data(self) -> np.ndarray:
@@ -127,6 +154,8 @@ class AtomicArray:
 
     def fetch_add(self, idx: int, delta: int) -> int:
         self.op_count += 1
+        if self._detector is not None:
+            self._detector.record_atomic(self._name, (idx,))
         prev = int(self._data[idx])
         self._data[idx] = prev + delta
         return prev
@@ -141,6 +170,8 @@ class AtomicArray:
         slot from zero reports True for that slot.
         """
         self.op_count += len(indices)
+        if self._detector is not None and len(indices):
+            self._detector.record_atomic(self._name, indices)
         was_zero = np.zeros(len(indices), dtype=bool)
         # np.add.at handles duplicates; we need per-op previous values only
         # to detect zero-crossings, so detect duplicates first.

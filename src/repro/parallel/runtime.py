@@ -12,18 +12,35 @@ time), but:
 * chunk assignment is a pure function of ``(p, chunk_size, order)``, so runs
   are reproducible regardless of ``p``;
 * every loop reports work/span/bytes-moved into :class:`WorkStats`, which the
-  cost model converts into modelled parallel running times.
+  cost model converts into modelled parallel running times;
+* the *execution order* of chunks is pluggable (:data:`SCHEDULE_POLICIES`):
+  by default chunks run in issue order, but a policy can replay the same
+  loop under reversed, seeded-random, or adversarial heavy-first
+  interleavings.  Kernels iterate via :meth:`ParallelRuntime.execute`, which
+  also announces the current virtual thread to an attached
+  :class:`~repro.verify.conflicts.ConflictDetector` -- the schedule-fuzzing
+  substrate of the verify layer.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TypeVar
 
 import numpy as np
 
 T = TypeVar("T")
+
+#: Recognized chunk-execution orders.  ``issue`` is the model default (the
+#: order chunks are created, i.e. a static TBB partitioner with no work
+#: stealing); ``reversed`` models the last-issued chunks finishing first;
+#: ``random`` is a seeded arbitrary interleaving (fresh permutation per
+#: parallel region); ``heavy-first`` is the adversarial order that runs the
+#: heaviest chunks (most edges / members) first, maximizing the overlap
+#: window of high-contention work.
+SCHEDULE_POLICIES = ("issue", "reversed", "random", "heavy-first")
 
 
 @dataclass
@@ -75,13 +92,29 @@ class ParallelRuntime:
     thread-local structures exist and how parallel loops are chunked.
     """
 
-    def __init__(self, p: int = 8, *, chunk_size: int = 512) -> None:
+    def __init__(
+        self,
+        p: int = 8,
+        *,
+        chunk_size: int = 512,
+        schedule_policy: str | None = None,
+        schedule_seed: int = 0,
+    ) -> None:
         if p < 1:
             raise ValueError(f"p must be >= 1, got {p}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if schedule_policy is not None and schedule_policy not in SCHEDULE_POLICIES:
+            raise ValueError(
+                f"unknown schedule policy {schedule_policy!r}; "
+                f"know {SCHEDULE_POLICIES}"
+            )
         self.p = p
         self.chunk_size = chunk_size
+        self.schedule_policy = schedule_policy
+        self.schedule_seed = schedule_seed
+        self.detector = None  # ConflictDetector, attached by the verify layer
+        self._region_counter = 0
         self._stats: dict[str, WorkStats] = {}
 
     # ------------------------------------------------------------------ #
@@ -130,6 +163,101 @@ class ParallelRuntime:
     def thread_locals(self, factory: Callable[[int], T]) -> list[T]:
         """Build one scratch object per virtual thread."""
         return [factory(tid) for tid in range(self.p)]
+
+    # ------------------------------------------------------------------ #
+    # execution order (schedule policies)
+    # ------------------------------------------------------------------ #
+    def execution_order(
+        self,
+        sched: ChunkSchedule,
+        *,
+        weights: np.ndarray | None = None,
+        default: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Chunk execution order under the configured policy.
+
+        ``weights`` (one entry per chunk, e.g. summed degrees) drives the
+        ``heavy-first`` adversarial order; chunk sizes are used when absent.
+        ``default`` is the order used when no policy is configured -- kernels
+        with their own modelled nondeterminism (one-pass contraction's
+        bounded jitter) pass it so the model default stays untouched.
+        """
+        n_chunks = sched.num_chunks
+        identity = np.arange(n_chunks, dtype=np.int64)
+        policy = self.schedule_policy
+        if policy is None:
+            return identity if default is None else np.asarray(default, dtype=np.int64)
+        if policy == "issue":
+            return identity
+        if policy == "reversed":
+            return identity[::-1]
+        if policy == "random":
+            # fresh permutation per parallel region, reproducible per
+            # (schedule_seed, region index)
+            self._region_counter += 1
+            rng = np.random.default_rng(
+                [self.schedule_seed, self._region_counter]
+            )
+            return rng.permutation(n_chunks).astype(np.int64)
+        if policy == "heavy-first":
+            if weights is None:
+                weights = np.array(
+                    [len(c) for c in sched.chunks], dtype=np.int64
+                )
+            return np.argsort(-np.asarray(weights), kind="stable").astype(
+                np.int64
+            )
+        raise ValueError(f"unknown schedule policy {policy!r}")
+
+    def execute(
+        self,
+        sched: ChunkSchedule,
+        *,
+        weights: np.ndarray | None = None,
+        default_order: np.ndarray | None = None,
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(tid, chunk)`` in policy order, announcing ``tid``.
+
+        This is the instrumented replacement for iterating a
+        :class:`ChunkSchedule` directly: an attached conflict detector
+        learns which virtual thread issues each subsequent shared-memory
+        access.  With no policy and no detector it degenerates to plain
+        issue-order iteration.
+        """
+        order = self.execution_order(sched, weights=weights, default=default_order)
+        det = self.detector
+        for ci in order.tolist():
+            if det is not None:
+                det.current_tid = sched.owner[ci]
+            yield sched.owner[ci], sched.chunks[ci]
+        if det is not None:
+            det.current_tid = None
+
+    # ------------------------------------------------------------------ #
+    # conflict-detector attachment
+    # ------------------------------------------------------------------ #
+    def attach_detector(self, detector) -> None:
+        self.detector = detector
+
+    def detach_detector(self):
+        det, self.detector = self.detector, None
+        return det
+
+    @contextmanager
+    def region(self, phase: str):
+        """Scope one parallel region (loop between barriers) for detection.
+
+        Accesses recorded inside one region by different virtual threads may
+        conflict; the region boundary is a synchronization barrier, so maps
+        are cleared on entry.
+        """
+        if self.detector is not None:
+            self.detector.begin_region(phase)
+        try:
+            yield
+        finally:
+            if self.detector is not None:
+                self.detector.end_region()
 
     # ------------------------------------------------------------------ #
     # cost accounting

@@ -18,6 +18,16 @@ class TestAtomicCounter:
             c.fetch_add(1)
         assert c.op_count == 7
 
+    def test_store_counts_as_op(self):
+        # store() is an atomic op like the rest; it must hit the op ledger
+        c = AtomicCounter(1)
+        c.store(42)
+        assert c.value == 42
+        assert c.op_count == 1
+        c.fetch_add(1)
+        c.store(0)
+        assert c.op_count == 3
+
     def test_compare_exchange(self):
         c = AtomicCounter(3)
         assert c.compare_exchange(3, 9)

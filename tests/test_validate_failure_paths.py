@@ -1,0 +1,133 @@
+"""Failure-path coverage for graph/partition validation.
+
+The happy paths of ``CSRGraph.validate`` and ``PartitionedGraph.validate``
+run in nearly every test; these tests pin down that each *corruption* is
+actually rejected with a diagnosable error, and that the verify layer's
+``check_*`` wrappers surface them as :class:`InvariantViolation`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionedGraph
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from repro.verify import InvariantViolation, check_csr, check_partition
+
+
+@pytest.fixture
+def graph():
+    return gen.grid2d(8, 8)
+
+
+@pytest.fixture
+def pgraph(graph):
+    part = (np.arange(graph.n) % 2).astype(np.int32)
+    return PartitionedGraph(graph, 2, part)
+
+
+class TestCSRGraphConstruction:
+    def test_dangling_edge_target_rejected(self):
+        # adjncy references vertex 5 in a 3-vertex graph
+        with pytest.raises(ValueError, match="out-of-range vertex IDs"):
+            CSRGraph(np.array([0, 1, 2, 2]), np.array([1, 5]))
+
+    def test_negative_edge_target_rejected(self):
+        with pytest.raises(ValueError, match="out-of-range vertex IDs"):
+            CSRGraph(np.array([0, 1, 2]), np.array([1, -1]))
+
+    def test_bad_indptr_bounds_rejected(self):
+        with pytest.raises(ValueError, match="indptr must start at 0"):
+            CSRGraph(np.array([0, 1, 3]), np.array([1, 0]))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 2]), np.array([1, 0]))
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(ValueError, match="adjwgt must align"):
+            CSRGraph(np.array([0, 1, 2]), np.array([1, 0]), np.array([1]))
+
+
+class TestCSRGraphValidate:
+    def test_valid_graph_passes(self, graph):
+        graph.validate()
+
+    def test_non_symmetric_rejected(self):
+        # edge 0->1 with no reverse
+        g = CSRGraph(np.array([0, 1, 1]), np.array([1]))
+        with pytest.raises(ValueError, match="not symmetric"):
+            g.validate()
+
+    def test_asymmetric_weights_rejected(self):
+        # both directions exist but with different weights
+        g = CSRGraph(
+            np.array([0, 1, 2]), np.array([1, 0]), adjwgt=np.array([2, 3])
+        )
+        with pytest.raises(ValueError, match="not symmetric"):
+            g.validate()
+
+    def test_self_loop_rejected(self):
+        g = CSRGraph(np.array([0, 1, 1]), np.array([0]))
+        with pytest.raises(ValueError, match="self-loop at vertex 0"):
+            g.validate()
+
+    def test_non_positive_edge_weight_rejected(self):
+        g = CSRGraph(
+            np.array([0, 1, 2]), np.array([1, 0]), adjwgt=np.array([0, 0])
+        )
+        with pytest.raises(ValueError, match="edge weights must be positive"):
+            g.validate()
+
+    def test_non_positive_vertex_weight_rejected(self):
+        g = CSRGraph(
+            np.array([0, 1, 2]),
+            np.array([1, 0]),
+            vwgt=np.array([1, 0]),
+        )
+        with pytest.raises(ValueError):
+            g.validate()
+
+
+class TestPartitionedGraphValidate:
+    def test_out_of_range_blocks_rejected_at_construction(self, graph):
+        part = np.zeros(graph.n, dtype=np.int32)
+        part[3] = 2  # k == 2
+        with pytest.raises(ValueError, match="out-of-range block IDs"):
+            PartitionedGraph(graph, 2, part)
+
+    def test_short_partition_rejected(self, graph):
+        with pytest.raises(ValueError, match="every vertex"):
+            PartitionedGraph(graph, 2, np.zeros(graph.n - 1, dtype=np.int32))
+
+    def test_valid_partition_passes(self, pgraph):
+        pgraph.validate()
+
+    def test_corrupted_block_weights_rejected(self, pgraph):
+        pgraph.block_weights[0] += 3
+        with pytest.raises(AssertionError, match="out of sync"):
+            pgraph.validate()
+
+    def test_weights_desync_after_raw_mutation(self, pgraph):
+        # mutating the partition array behind move()'s back desyncs the
+        # incremental block weights -- validate() must notice
+        pgraph.partition[0] = 1 - pgraph.partition[0]
+        with pytest.raises(AssertionError):
+            pgraph.validate()
+
+    def test_move_keeps_weights_in_sync(self, pgraph):
+        u = 5
+        pgraph.move(u, 1 - int(pgraph.partition[u]))
+        pgraph.validate()
+
+
+class TestVerifyWrappers:
+    def test_check_csr_wraps_value_error(self):
+        g = CSRGraph(np.array([0, 1, 1]), np.array([1]))
+        with pytest.raises(InvariantViolation, match="graph invariant violated"):
+            check_csr(g, phase="unit")
+
+    def test_check_partition_flags_corruption(self, pgraph):
+        pgraph.block_weights[1] -= 1
+        with pytest.raises(InvariantViolation, match=r"\[unit\] block 1"):
+            check_partition(pgraph, phase="unit")
