@@ -28,8 +28,11 @@ def run_waterfall():
     graph = load_instance("eu-2015*")
     steps = []
     for label, preset in LADDER:
-        result = repro.partition(graph, K, C.preset(preset, seed=1, p=P))
-        steps.append((label, result.peak_bytes / 1024.0))
+        # peaks come from the obs metrics registry (the same snapshot
+        # `--metrics-json` writes), not from re-measuring the tracker
+        cfg = C.preset(preset, seed=1, p=P).with_(obs=C.ObsConfig(enabled=True))
+        result = repro.partition(graph, K, cfg)
+        steps.append((label, result.obs["peak_bytes"] / 1024.0))
     return steps
 
 

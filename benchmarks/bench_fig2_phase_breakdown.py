@@ -29,15 +29,21 @@ def run_breakdown():
         use_fm=True,
         fm=C.FMConfig(gain_table=C.GainTableKind.FULL),
         name="kaminpar-fm-full",
+        obs=C.ObsConfig(enabled=True),
     )
-    repro.partition(graph, K, cfg, tracker=tracker)
-    return tracker
+    result = repro.partition(graph, K, cfg, tracker=tracker)
+    return tracker, result.obs
 
 
 def test_fig2_phase_breakdown(run_once, report_sink):
-    tracker = run_once(run_breakdown)
+    tracker, obs = run_once(run_breakdown)
     text = render_phase_breakdown(tracker, max_depth=3)
-    phases = {p: s.peak_bytes for p, s in tracker.phases().items()}
+    # the per-phase peaks come from the obs registry's waterfall (the same
+    # snapshot `--metrics-json` writes); the registry must agree with the
+    # live tracker byte-for-byte
+    phases = {e["phase"]: e["peak_bytes"] for e in obs["waterfall"]}
+    for path, peak in phases.items():
+        assert tracker.phase_peak(path) == peak, path
     rows = sorted(phases.items(), key=lambda kv: -kv[1])[:12]
     table = render_table(
         ["phase", "peak bytes"], rows, title="top phase peaks"
@@ -45,7 +51,7 @@ def test_fig2_phase_breakdown(run_once, report_sink):
     report_sink("fig2_phase_breakdown", text + "\n\n" + table)
 
     # the peak must occur while working on the top-level graph
-    lvl0_cluster = tracker.phase_peak("partition/coarsening/coarsening-level0/clustering")
+    lvl0_cluster = phases["partition/coarsening/coarsening-level0/clustering"]
     assert lvl0_cluster > 0
     # level-0 clustering is within a whisker of the global peak
     assert lvl0_cluster >= 0.6 * tracker.peak_bytes

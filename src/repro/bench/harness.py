@@ -57,9 +57,18 @@ def run_partitioner(
     k: int,
     seed: int,
 ) -> RunRecord:
-    """Run the core partitioner once and record every reported metric."""
+    """Run the core partitioner once and record every reported metric.
+
+    When the config enables observability (``config.obs.enabled``) the run's
+    metrics-registry snapshot rides along in ``extra["obs"]`` -- figure
+    scripts consume the per-phase memory waterfall and counters from there
+    instead of re-measuring.
+    """
     graph = load_instance(instance.name)
     result = repro.partition(graph, k, config.with_(seed=seed))
+    extra: dict = {"num_levels": result.num_levels}
+    if result.obs is not None:
+        extra["obs"] = result.obs
     return RunRecord(
         algorithm=config.name,
         instance=instance.name,
@@ -71,7 +80,7 @@ def run_partitioner(
         wall_seconds=result.wall_seconds,
         modeled_seconds=result.modeled_seconds,
         peak_bytes=result.peak_bytes,
-        extra={"num_levels": result.num_levels},
+        extra=extra,
     )
 
 

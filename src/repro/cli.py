@@ -58,6 +58,9 @@ def cmd_partition(args: argparse.Namespace) -> int:
                 schedule_seed=args.schedule_seed,
             )
         )
+    want_obs = bool(args.trace_out or args.metrics_json)
+    if want_obs:
+        cfg = cfg.with_(obs=C.ObsConfig(enabled=True))
     t0 = time.perf_counter()
     if args.seeds > 1:
         from repro.core.portfolio import partition_portfolio
@@ -84,6 +87,20 @@ def cmd_partition(args: argparse.Namespace) -> int:
         from repro.core.metrics import compute_metrics
 
         print("metrics:    " + compute_metrics(result.pgraph).row())
+    if want_obs and result.trace is not None:
+        from repro.obs.export import render_level_summary, write_chrome_trace
+
+        if args.trace_out:
+            write_chrome_trace(args.trace_out, result.trace)
+            print(f"trace:      {args.trace_out}")
+        if args.metrics_json:
+            import json
+
+            with open(args.metrics_json, "w") as f:
+                json.dump(result.obs, f, indent=2)
+                f.write("\n")
+            print(f"metrics js: {args.metrics_json}")
+        print(render_level_summary(result.trace))
     if result.selfcheck is not None:
         sc = result.selfcheck
         n_conflicts = len(sc["conflicts"])
@@ -184,6 +201,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="seed for the 'random' schedule policy",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="enable span tracing and write a Chrome-trace JSON "
+        "(chrome://tracing / Perfetto) to PATH",
+    )
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="enable span tracing and write the metrics registry "
+        "(counters + per-phase memory waterfall) to PATH",
     )
     p.set_defaults(func=cmd_partition)
 

@@ -37,17 +37,18 @@ def coarsen_hierarchy(graph, ctx: PartitionContext) -> list[CoarseLevel]:
     for level in range(cc.max_levels):
         if current.n <= limit:
             break
-        with ctx.tracker.phase(f"coarsening-level{level}"):
+        with ctx.phase(f"coarsening-level{level}", level=level):
             cap = ctx.max_cluster_weight(current.n)
-            with ctx.tracker.phase("clustering"):
+            with ctx.phase("clustering", level=level):
                 result = label_propagation_clustering(current, ctx, cap)
             shrink = current.n / max(result.num_clusters, 1)
             if cc.two_hop_matching and shrink < cc.min_shrink_factor:
                 two_hop_match(result, np.asarray(current.vwgt), cap)
                 shrink = current.n / max(result.num_clusters, 1)
+                ctx.tracer.add("coarsening.two_hop_matches", 1)
             if shrink < cc.min_shrink_factor:
                 break  # coarsening stalled; go to initial partitioning
-            with ctx.tracker.phase("contraction"):
+            with ctx.phase("contraction", level=level):
                 contract = (
                     contract_one_pass if cc.one_pass_contraction else contract_buffered
                 )

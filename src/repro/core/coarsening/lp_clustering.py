@@ -31,6 +31,12 @@ from repro.core.context import PartitionContext
 from repro.graph.access import chunk_adjacency, segment_reduce_ratings, traversal_cost
 
 
+def _null_tracer():
+    from repro.obs.tracer import NULL_TRACER
+
+    return NULL_TRACER
+
+
 @dataclass
 class ClusteringResult:
     """Outcome of one clustering pass over a level's graph."""
@@ -101,6 +107,9 @@ def label_propagation_clustering(
     # unless the test-only race injection drops the CAS.
     det = ctx.detector
     inject_race = ctx.config.debug.inject_lp_weight_race
+    tracer = ctx.tracer
+    # per-round kernel spans are opt-out (config.obs.kernel_spans)
+    round_tracer = tracer if ctx.config.obs.kernel_spans else _null_tracer()
     result = ClusteringResult(
         clusters, cluster_weights, n, favorites=favorites
     )
@@ -128,6 +137,10 @@ def label_propagation_clustering(
                 active[:] = False
             moves = 0
             bumped_total = 0
+            # manual enter/exit keeps the hot loop's indentation flat; a
+            # leaked span on an exception is closed by tracer.finish()
+            round_span = round_tracer.span(f"{phase_name}-round{_round}")
+            round_span.__enter__()
             sched = runtime.schedule(order)
             chunk_weights = None
             if runtime.schedule_policy == "heavy-first":
@@ -137,7 +150,9 @@ def label_propagation_clustering(
                 )
             if det is not None:
                 det.begin_region(f"{phase_name}-round{_round}")
-            for _tid, chunk in runtime.execute(sched, weights=chunk_weights):
+            for _tid, chunk in runtime.execute(
+                sched, weights=chunk_weights, phase=phase_name
+            ):
                 owner, nbrs, wgts = chunk_adjacency(graph, chunk)
                 if len(owner) == 0:
                     continue
@@ -245,6 +260,10 @@ def label_propagation_clustering(
                 runtime.record(
                     phase_name, work=0.0, span=float(max_degree), sequential=False
                 )
+            round_span.__exit__(None, None, None)
+            tracer.add("lp.rounds", 1)
+            tracer.add("lp.moves", moves)
+            tracer.add("lp.bumped", bumped_total)
             result.moves_per_round.append(moves)
             result.bumped_per_round.append(bumped_total)
             if moves == 0:

@@ -97,7 +97,10 @@ def contract_one_pass(
     if det is not None:
         det.begin_region("contraction")
     for _tid, leader_idx in runtime.execute(
-        sched, weights=chunk_weights, default_order=default_order
+        sched,
+        weights=chunk_weights,
+        default_order=default_order,
+        phase="contraction",
     ):
         # leader_idx: indices into `leaders`
         chunk_leaders = leaders[leader_idx]
@@ -171,6 +174,10 @@ def contract_one_pass(
     m2_coarse = dual.d
     assert dual.s == n_coarse
     pprime[n_coarse] = m2_coarse
+    tracer = ctx.tracer
+    tracer.add("contraction.coarse_edges", m2_coarse)
+    tracer.add("contraction.cas_transactions", sched.num_chunks)
+    tracer.add("contraction.bumped_clusters", bumped)
 
     # remap endpoints from old cluster IDs to new coarse IDs (Fig. 3, bottom)
     adjncy = new_id_of_leader[eprime_dst[:m2_coarse]]

@@ -82,6 +82,29 @@ class DebugConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Knobs of the observability layer (span tracing + metrics registry).
+
+    Defaults to off: the production path threads a shared no-op tracer and
+    pays one attribute load per would-be span.  When enabled, the
+    partitioner records the full span tree (phases, hierarchy levels,
+    counters, memory snapshots at every span boundary) and attaches a
+    :class:`~repro.obs.metrics.MetricsRegistry` snapshot plus the raw
+    tracer to the :class:`~repro.core.partitioner.PartitionResult`.
+    Tracing never perturbs the computation: partitions are bit-identical
+    with and without it (tested).
+    """
+
+    enabled: bool = False
+    # attribute chunk work to virtual threads inside ParallelRuntime.execute
+    # loops (per-(region, tid) chunk/item/time aggregates in the registry)
+    chunk_attribution: bool = True
+    # record per-round kernel spans (LP clustering rounds, FM passes); off
+    # leaves only the driver-level phase spans
+    kernel_spans: bool = True
+
+
+@dataclass(frozen=True)
 class InitialPartitioningConfig:
     """Portfolio of randomized greedy-graph-growing bipartitioners + 2-way FM."""
 
@@ -115,6 +138,7 @@ class PartitionerConfig:
     fm: FMConfig = field(default_factory=FMConfig)
     lp_refinement_rounds: int = 3
     debug: DebugConfig = field(default_factory=DebugConfig)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def with_(self, **kwargs) -> "PartitionerConfig":
         return replace(self, **kwargs)

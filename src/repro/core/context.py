@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.core.config import PartitionerConfig
 from repro.memory.tracker import MemoryTracker
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.runtime import ParallelRuntime
 
 
@@ -21,6 +22,8 @@ class PartitionContext:
     tracker: MemoryTracker = field(default_factory=MemoryTracker)
     runtime: ParallelRuntime = None  # type: ignore[assignment]
     rng: np.random.Generator = None  # type: ignore[assignment]
+    # span tracer (obs layer); the shared no-op singleton when disabled
+    tracer: object = NULL_TRACER
 
     def __post_init__(self) -> None:
         if self.runtime is None:
@@ -48,6 +51,15 @@ class PartitionContext:
     def detector(self):
         """The attached conflict detector, or None."""
         return self.runtime.detector
+
+    def phase(self, name: str, *, level: int | None = None):
+        """Scope one algorithm phase: ledger phase + (if tracing) a span.
+
+        With tracing disabled this is exactly ``tracker.phase(name)``; with
+        tracing enabled the span's peak memory is read back from the
+        ledger's per-phase peak, so trace and memory report agree.
+        """
+        return self.tracer.phase(name, self.tracker, level=level)
 
     def max_block_weight(self) -> int:
         from repro.core.partition import max_block_weight

@@ -25,9 +25,11 @@ from repro.core.refinement.balancer import rebalance
 from repro.core.refinement.fm_localized import fm_refine_localized
 from repro.core.refinement.fm_refine import fm_refine
 from repro.core.refinement.lp_refine import lp_refine
+from repro.graph import access as graph_access
 from repro.graph.compressed import compress_graph
 from repro.memory.report import MemoryReport
 from repro.memory.tracker import MemoryTracker
+from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.parallel.cost_model import CostModel
 from repro.parallel.runtime import ParallelRuntime
 
@@ -52,6 +54,11 @@ class PartitionResult:
     # or conflict detection): invariant-check count, detector conflicts,
     # schedule policy used
     selfcheck: dict | None = None
+    # obs-layer artifacts (populated when config.obs.enabled): the raw span
+    # tracer (exportable via repro.obs.write_chrome_trace) and the metrics
+    # registry snapshot (counters, per-phase memory waterfall, threads)
+    trace: object | None = None
+    obs: dict | None = None
 
     @property
     def partition(self) -> np.ndarray:
@@ -92,27 +99,108 @@ def partition(
     if dbg.validation_level:
         from repro.verify import invariants as inv
 
+    obs_cfg = config.obs
+    tracer = SpanTracer(tracker) if obs_cfg.enabled else NULL_TRACER
+    if obs_cfg.enabled:
+        if obs_cfg.chunk_attribution:
+            runtime.attach_tracer(tracer)
+        graph_access.install_tracer(tracer)
+
     ctx = PartitionContext(
         config=config,
         k=k,
         total_vertex_weight=graph.total_vertex_weight,
         tracker=tracker,
         runtime=runtime,
+        tracer=tracer,
     )
     t0 = time.perf_counter()
 
-    with tracker.phase("partition"):
+    try:
+        pgraph, levels, checks_run = _partition_phases(
+            graph, k, config, ctx, inv, checks_run
+        )
+    finally:
+        if obs_cfg.enabled:
+            graph_access.uninstall_tracer()
+            runtime.detach_tracer()
+            tracer.finish()
+
+    wall = time.perf_counter() - t0
+    model = CostModel()
+    modeled = model.total_time(runtime.all_stats(), runtime.p)
+    selfcheck = None
+    if dbg.validation_level or dbg.detect_conflicts:
+        selfcheck = {
+            "validation_level": dbg.validation_level,
+            "invariant_checks": checks_run,
+            "conflicts": []
+            if detector is None
+            else [str(c) for c in detector.conflicts],
+            "regions_checked": 0 if detector is None else detector.regions_checked,
+            "accesses_recorded": 0
+            if detector is None
+            else detector.accesses_recorded,
+            "schedule_policy": dbg.schedule_policy or "issue",
+            "schedule_seed": dbg.schedule_seed,
+        }
+    obs_dict = None
+    if obs_cfg.enabled:
+        from repro.obs.metrics import MetricsRegistry
+
+        obs_dict = MetricsRegistry.from_run(
+            tracer,
+            tracker,
+            meta={
+                "config": config.name,
+                "k": k,
+                "p": config.p,
+                "seed": config.seed,
+                "n": graph.n,
+                "m": graph.m,
+                "num_levels": len(levels),
+            },
+        ).to_dict()
+    return PartitionResult(
+        pgraph=pgraph,
+        cut=pgraph.cut_weight(),
+        cut_fraction=pgraph.cut_fraction(),
+        imbalance=pgraph.imbalance(),
+        balanced=pgraph.is_balanced(config.epsilon),
+        wall_seconds=wall,
+        modeled_seconds=modeled,
+        peak_bytes=tracker.peak_bytes,
+        memory=MemoryReport.from_tracker(tracker),
+        num_levels=len(levels),
+        config_name=config.name,
+        phase_stats={name: s for name, s in runtime.all_stats().items()},
+        selfcheck=selfcheck,
+        trace=tracer if obs_cfg.enabled else None,
+        obs=obs_dict,
+    )
+
+
+def _partition_phases(graph, k, config, ctx, inv, checks_run):
+    """The multilevel pipeline proper, scoped by ledger phases + obs spans."""
+    tracker = ctx.tracker
+    runtime = ctx.runtime
+    tracer = ctx.tracer
+    dbg = config.debug
+
+    with ctx.phase("partition"):
         # ---------------- input representation ---------------- #
         top = graph
         input_aid = None
         if config.compress_input and hasattr(graph, "indptr"):
-            with tracker.phase("compression"):
+            with ctx.phase("compression"):
                 top = compress_graph(
                     graph,
                     enable_intervals=config.compression_intervals,
                     tracker=None,
                 )
                 input_aid = tracker.alloc("input-graph", top.nbytes, "graph")
+                tracer.add("compression.input_bytes", graph.nbytes)
+                tracer.add("compression.compressed_bytes", top.nbytes)
         else:
             input_aid = tracker.alloc("input-graph", top.nbytes, "graph")
 
@@ -127,11 +215,12 @@ def partition(
                 checks_run += 1
 
         # ---------------- coarsening ---------------- #
-        with tracker.phase("coarsening"):
+        with ctx.phase("coarsening"):
             levels = coarsen_hierarchy(top, ctx)
 
         graphs = [top] + [lvl.graph for lvl in levels]
         coarsest = graphs[-1]
+        tracer.add("coarsening.levels", len(levels))
 
         if inv is not None:
             for li, lvl in enumerate(levels):
@@ -148,7 +237,9 @@ def partition(
 
         # ---------------- initial partitioning ---------------- #
         deep_state = None
-        with tracker.phase("initial-partitioning"):
+        with ctx.phase("initial-partitioning", level=len(levels)):
+            tracer.add("initial.coarsest_n", coarsest.n)
+            tracer.add("initial.attempts", config.initial.attempts)
             if config.initial.scheme == "deep":
                 from repro.core.initial.deep import deep_initial_partition
 
@@ -207,7 +298,7 @@ def partition(
             inv.check_partition(pgraph, phase="initial-partitioning")
             checks_run += 1
         for li in range(len(graphs) - 1, -1, -1):
-            with tracker.phase(f"refinement-level{li}"):
+            with ctx.phase(f"refinement-level{li}", level=li):
                 if deep_state is not None and not deep_state.done():
                     from repro.core.initial.deep import extend_partition
 
@@ -220,7 +311,7 @@ def partition(
                         fm_rounds=config.initial.fm_rounds,
                     )
                 limits = block_limits()
-                rebalance(pgraph, limits)
+                rebalance(pgraph, limits, tracer=tracer)
                 lp_refine(pgraph, ctx, limits)
                 if config.use_fm and (deep_state is None or deep_state.done()):
                     if config.fm.localized:
@@ -229,7 +320,7 @@ def partition(
                         )
                     else:
                         fm_refine(pgraph, ctx, lmax)
-                rebalance(pgraph, limits)
+                rebalance(pgraph, limits, tracer=tracer)
             if inv is not None:
                 inv.check_partition(pgraph, phase=f"refinement-level{li}")
                 checks_run += 1
@@ -256,9 +347,9 @@ def partition(
                     fm_rounds=config.initial.fm_rounds,
                 ):
                     break
-            rebalance(pgraph, lmax)
+            rebalance(pgraph, lmax, tracer=tracer)
             lp_refine(pgraph, ctx, lmax)
-            rebalance(pgraph, lmax)
+            rebalance(pgraph, lmax, tracer=tracer)
 
         if inv is not None:
             inv.check_partition(pgraph, phase="final")
@@ -267,36 +358,4 @@ def partition(
         if input_aid is not None:
             tracker.free(input_aid)
 
-    wall = time.perf_counter() - t0
-    model = CostModel()
-    modeled = model.total_time(runtime.all_stats(), runtime.p)
-    selfcheck = None
-    if dbg.validation_level or dbg.detect_conflicts:
-        selfcheck = {
-            "validation_level": dbg.validation_level,
-            "invariant_checks": checks_run,
-            "conflicts": []
-            if detector is None
-            else [str(c) for c in detector.conflicts],
-            "regions_checked": 0 if detector is None else detector.regions_checked,
-            "accesses_recorded": 0
-            if detector is None
-            else detector.accesses_recorded,
-            "schedule_policy": dbg.schedule_policy or "issue",
-            "schedule_seed": dbg.schedule_seed,
-        }
-    return PartitionResult(
-        pgraph=pgraph,
-        cut=pgraph.cut_weight(),
-        cut_fraction=pgraph.cut_fraction(),
-        imbalance=pgraph.imbalance(),
-        balanced=pgraph.is_balanced(config.epsilon),
-        wall_seconds=wall,
-        modeled_seconds=modeled,
-        peak_bytes=tracker.peak_bytes,
-        memory=MemoryReport.from_tracker(tracker),
-        num_levels=len(levels),
-        config_name=config.name,
-        phase_stats={name: s for name, s in runtime.all_stats().items()},
-        selfcheck=selfcheck,
-    )
+    return pgraph, levels, checks_run

@@ -15,10 +15,11 @@ import numpy as np
 from repro.core.partition import PartitionedGraph
 
 
-def rebalance(pgraph: PartitionedGraph, max_block_weight) -> int:
+def rebalance(pgraph: PartitionedGraph, max_block_weight, *, tracer=None) -> int:
     """Move vertices until every block fits; returns number of moves.
 
-    ``max_block_weight`` may be a scalar or a per-block array.
+    ``max_block_weight`` may be a scalar or a per-block array.  ``tracer``
+    (obs layer) receives the move count and overloaded-block count.
     """
     g = pgraph.graph
     vwgt = np.asarray(g.vwgt)
@@ -33,6 +34,8 @@ def rebalance(pgraph: PartitionedGraph, max_block_weight) -> int:
     ]
     if not overloaded:
         return 0
+    if tracer is not None and tracer.enabled:
+        tracer.add("balancer.overloaded_blocks", len(overloaded))
 
     for b in overloaded:
         # candidates: vertices of b, by loss (= cut increase when leaving)
@@ -80,4 +83,6 @@ def rebalance(pgraph: PartitionedGraph, max_block_weight) -> int:
             ):
                 pgraph.move(u, lightest)
                 moves += 1
+    if tracer is not None and tracer.enabled:
+        tracer.add("balancer.moves", moves)
     return moves

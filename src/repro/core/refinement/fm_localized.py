@@ -38,8 +38,15 @@ def fm_refine_localized(
     """Run localized FM rounds; returns total cut improvement."""
     cfg = fm_config or ctx.config.fm
     total = 0
+    tracer = ctx.tracer
     for _ in range(cfg.max_rounds):
         table = make_gain_table(cfg.gain_table, pgraph, ctx.tracker)
+        if tracer.enabled:
+            tracer.add("gain_table.bytes", table.nbytes)
+            mix = getattr(table, "width_mix", None)
+            if mix is not None:
+                for bits, count in mix().items():
+                    tracer.add(f"gain_table.width{bits}_rows", count)
         try:
             improvement = _localized_pass(
                 pgraph, ctx, table, max_block_weight, cfg, max_region
@@ -72,13 +79,25 @@ def _localized_pass(
         return 0
     seeds = seeds[ctx.rng.permutation(len(seeds))]
     improvement = 0
+    searches = 0
+    committed = 0
+    rolled_back = 0
 
     for seed in seeds.tolist():
         if locked[seed]:
             continue
-        improvement += _run_search(
+        gain, kept, rolled = _run_search(
             pgraph, table, int(seed), locked, max_block_weight, max_region
         )
+        improvement += gain
+        searches += 1
+        committed += kept
+        rolled_back += rolled
+    tracer = ctx.tracer
+    tracer.add("fm.searches", searches)
+    tracer.add("fm.moves", committed)
+    tracer.add("fm.rollback_moves", rolled_back)
+    tracer.add("fm.improvement", improvement)
     return improvement
 
 
@@ -89,8 +108,11 @@ def _run_search(
     locked: np.ndarray,
     max_block_weight: int,
     max_region: int,
-) -> int:
-    """One localized search: expand from ``seed``, keep the best prefix."""
+) -> tuple[int, int, int]:
+    """One localized search: expand from ``seed``, keep the best prefix.
+
+    Returns ``(improvement, kept_moves, rolled_back_moves)``.
+    """
     heap: list[tuple[int, int, int, int]] = []
     counter = 0
     touched: list[int] = []  # vertices this search acquired
@@ -139,4 +161,4 @@ def _run_search(
     for u, src, dst in reversed(moves[best_prefix:]):
         pgraph.move(u, src)
         table.apply_move(u, dst, src)
-    return best
+    return best, best_prefix, len(moves) - best_prefix

@@ -50,8 +50,15 @@ def fm_refine(
     runtime = ctx.runtime
     total_improvement = 0
 
+    tracer = ctx.tracer
     for _ in range(cfg.max_rounds):
         table = make_gain_table(cfg.gain_table, pgraph, ctx.tracker)
+        if tracer.enabled:
+            tracer.add("gain_table.bytes", table.nbytes)
+            mix = getattr(table, "width_mix", None)
+            if mix is not None:
+                for bits, count in mix().items():
+                    tracer.add(f"gain_table.width{bits}_rows", count)
         try:
             improvement = _fm_pass(pgraph, ctx, table, max_block_weight, cfg)
             if ctx.config.debug.validation_level >= 2:
@@ -146,6 +153,10 @@ def _fm_pass(
     for u, src, dst in reversed(in_moves[best_prefix:]):
         pgraph.move(u, src)
         table.apply_move(u, dst, src)
+    tracer = ctx.tracer
+    tracer.add("fm.moves", best_prefix)
+    tracer.add("fm.rollback_moves", len(in_moves) - best_prefix)
+    tracer.add("fm.improvement", best_cumulative)
     return best_cumulative
 
 

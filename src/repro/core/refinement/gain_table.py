@@ -297,6 +297,11 @@ class SparseGainTable:
         key_bytes = int(np.sum(caps[~self._dense] * 4))
         return value_bytes + key_bytes + self._offsets.nbytes
 
+    def width_mix(self) -> dict[int, int]:
+        """Vertex count per entry width in bits (the paper's width mix)."""
+        bits, counts = np.unique(self._width_bits, return_counts=True)
+        return {int(b): int(c) for b, c in zip(bits.tolist(), counts.tolist())}
+
     def affinity(self, u: int, block: int) -> int:
         if self._dense[u]:
             lo, _ = self._range(u)

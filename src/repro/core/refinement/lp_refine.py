@@ -45,7 +45,8 @@ def lp_refine(
     for _ in range(rounds):
         order = ctx.rng.permutation(n).astype(np.int64)
         moves = 0
-        for _tid, chunk in runtime.schedule(order):
+        sched = runtime.schedule(order)
+        for _tid, chunk in runtime.execute(sched, phase="lp-refinement"):
             owner, nbrs, wgts = chunk_adjacency(g, chunk)
             if len(owner) == 0:
                 continue
@@ -88,6 +89,8 @@ def lp_refine(
                 pgraph.move(u, int(b))
                 moves += 1
         total_moves += moves
+        ctx.tracer.add("refine.lp_rounds", 1)
         if moves == 0:
             break
+    ctx.tracer.add("refine.lp_moves", total_moves)
     return total_moves

@@ -18,6 +18,45 @@ import numpy as np
 _FALLBACK_WORK_FACTOR = 1.3
 _work_factor_cache: float | None = None
 
+# Obs-layer counter hook.  When a traced run is active the partitioner
+# installs its SpanTracer here and every bulk adjacency access reports how
+# many edges it decoded (split CSR-gather vs compressed-decode) plus the
+# decode-cache hit/miss deltas.  One None-check per *chunk* when disabled.
+_tracer = None
+
+
+def install_tracer(tracer) -> None:
+    """Route decode counters of this module into ``tracer`` (obs layer)."""
+    global _tracer
+    _tracer = tracer
+
+
+def uninstall_tracer() -> None:
+    global _tracer
+    _tracer = None
+
+
+def _count_decode(graph, nedges: int) -> None:
+    tr = _tracer
+    if tr is None or nedges == 0:
+        return
+    if hasattr(graph, "indptr"):
+        tr.add("decode.edges_csr", nedges)
+    else:
+        tr.add("decode.edges", nedges)
+
+
+def _count_cache(stats_before: dict | None, stats_after: dict | None) -> None:
+    """Report decode-cache hit/miss/eviction deltas between two snapshots."""
+    tr = _tracer
+    if tr is None or stats_after is None:
+        return
+    before = stats_before or {}
+    for key in ("hits", "misses", "evictions"):
+        delta = stats_after.get(key, 0) - before.get(key, 0)
+        if delta:
+            tr.add(f"decode.cache_{key}", delta)
+
 
 def measured_decode_work_factor(*, refresh: bool = False) -> float:
     """Per-edge work factor of compressed chunk traversal relative to CSR.
@@ -101,9 +140,17 @@ def chunk_adjacency(
         cum = np.cumsum(degs) - degs
         offsets = np.arange(total, dtype=np.int64) - np.repeat(cum, degs)
         gather = np.repeat(starts, degs) + offsets
+        if _tracer is not None:
+            _count_decode(graph, total)
         return owner, graph.adjncy[gather], np.asarray(graph.adjwgt)[gather]
     if hasattr(graph, "decode_chunk"):  # compressed graph: bulk decode
-        return graph.decode_chunk(chunk)
+        if _tracer is None:
+            return graph.decode_chunk(chunk)
+        cache_before = getattr(graph, "decode_cache_stats", None)
+        out = graph.decode_chunk(chunk)
+        _count_decode(graph, len(out[0]))
+        _count_cache(cache_before, getattr(graph, "decode_cache_stats", None))
+        return out
     # generic fallback: per-neighborhood decode via the protocol
     owners: list[np.ndarray] = []
     nbrs: list[np.ndarray] = []
@@ -118,7 +165,10 @@ def chunk_adjacency(
     if not owners:
         e = np.empty(0, dtype=np.int64)
         return e, e, e
-    return np.concatenate(owners), np.concatenate(nbrs), np.concatenate(wgts)
+    owner = np.concatenate(owners)
+    if _tracer is not None:
+        _count_decode(graph, len(owner))
+    return owner, np.concatenate(nbrs), np.concatenate(wgts)
 
 
 def full_adjacency(graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -114,6 +114,7 @@ class ParallelRuntime:
         self.schedule_policy = schedule_policy
         self.schedule_seed = schedule_seed
         self.detector = None  # ConflictDetector, attached by the verify layer
+        self.tracer = None  # SpanTracer, attached by the obs layer
         self._region_counter = 0
         self._stats: dict[str, WorkStats] = {}
 
@@ -215,21 +216,41 @@ class ParallelRuntime:
         *,
         weights: np.ndarray | None = None,
         default_order: np.ndarray | None = None,
+        phase: str | None = None,
     ) -> Iterator[tuple[int, np.ndarray]]:
         """Yield ``(tid, chunk)`` in policy order, announcing ``tid``.
 
         This is the instrumented replacement for iterating a
         :class:`ChunkSchedule` directly: an attached conflict detector
         learns which virtual thread issues each subsequent shared-memory
-        access.  With no policy and no detector it degenerates to plain
-        issue-order iteration.
+        access, and an attached span tracer attributes each chunk's wall
+        time to ``(phase, tid)`` (the time between two yields is the
+        consumer's chunk processing).  With no policy, no detector and no
+        tracer it degenerates to plain issue-order iteration.
         """
         order = self.execution_order(sched, weights=weights, default=default_order)
         det = self.detector
-        for ci in order.tolist():
-            if det is not None:
-                det.current_tid = sched.owner[ci]
-            yield sched.owner[ci], sched.chunks[ci]
+        tr = self.tracer
+        if tr is not None and not tr.enabled:
+            tr = None
+        if tr is None:
+            for ci in order.tolist():
+                if det is not None:
+                    det.current_tid = sched.owner[ci]
+                yield sched.owner[ci], sched.chunks[ci]
+        else:
+            import time as _time
+
+            name = phase or "parallel-region"
+            for ci in order.tolist():
+                tid = sched.owner[ci]
+                if det is not None:
+                    det.current_tid = tid
+                t0 = _time.perf_counter()
+                yield tid, sched.chunks[ci]
+                tr.record_chunk(
+                    name, tid, len(sched.chunks[ci]), _time.perf_counter() - t0
+                )
         if det is not None:
             det.current_tid = None
 
@@ -242,6 +263,17 @@ class ParallelRuntime:
     def detach_detector(self):
         det, self.detector = self.detector, None
         return det
+
+    # ------------------------------------------------------------------ #
+    # span-tracer attachment (obs layer)
+    # ------------------------------------------------------------------ #
+    def attach_tracer(self, tracer) -> None:
+        """Attach a span tracer for per-(phase, tid) chunk attribution."""
+        self.tracer = tracer
+
+    def detach_tracer(self):
+        tr, self.tracer = self.tracer, None
+        return tr
 
     @contextmanager
     def region(self, phase: str):

@@ -1,0 +1,30 @@
+"""Regenerate the golden span tree for tests/test_trace_export.py.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/regen_golden_trace.py
+
+The golden captures span *names and nesting only* (no timings, no byte
+counts), so it is stable across machines as long as the pipeline structure
+and the seeded mini-run are unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from test_trace_export import GOLDEN, mini_run  # noqa: E402
+
+
+def main() -> None:
+    tree = mini_run().trace.span_tree()
+    GOLDEN.write_text(json.dumps(tree, indent=1) + "\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

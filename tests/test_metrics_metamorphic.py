@@ -1,0 +1,197 @@
+"""Metamorphic tests over partition metrics (obs satellite).
+
+Three relations that must hold for *any* graph and *any* partition, checked
+with hypothesis sweeps over generator graphs and seeds:
+
+1. **Relabeling invariance** -- permuting block IDs changes neither the cut
+   nor the imbalance (block weights are permuted, their multiset is not).
+2. **Disjoint-union additivity** -- the cut of ``G1 (+) G2`` under the
+   concatenated partition is exactly ``cut(G1) + cut(G2)``.
+3. **Uncut-edge contraction** -- contracting vertex groups that are
+   connected by *uncut* (intra-block) edges preserves the cut exactly (and
+   thus can never increase it: the monotonicity the multilevel scheme
+   relies on when projecting a coarse partition to a finer level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import PartitionedGraph
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+FAMILIES = ("er", "weblike", "rgg2d", "ba", "kmer")
+
+
+def make_graph(family: str, n: int, seed: int) -> CSRGraph:
+    if family == "er":
+        return gen.er(n, avg_degree=6.0, seed=seed)
+    if family == "weblike":
+        return gen.weblike(n, avg_degree=6.0, seed=seed)
+    if family == "rgg2d":
+        return gen.rgg2d(n, avg_degree=6.0, seed=seed)
+    if family == "ba":
+        return gen.ba(n, m_attach=3, seed=seed)
+    if family == "kmer":
+        return gen.kmer(n, degree=4, seed=seed)
+    raise KeyError(family)
+
+
+def random_partition(n: int, k: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, k, size=n).astype(np.int32)
+
+
+def disjoint_union(g1: CSRGraph, g2: CSRGraph) -> CSRGraph:
+    """``G1 (+) G2`` with ``G2``'s vertex IDs shifted by ``g1.n``."""
+    indptr = np.concatenate([g1.indptr, g1.indptr[-1] + g2.indptr[1:]])
+    adjncy = np.concatenate([g1.adjncy, g2.adjncy + g1.n])
+    adjwgt = np.concatenate([np.asarray(g1.adjwgt), np.asarray(g2.adjwgt)])
+    vwgt = np.concatenate([np.asarray(g1.vwgt), np.asarray(g2.vwgt)])
+    return CSRGraph(indptr, adjncy, adjwgt, vwgt)
+
+
+def contract_clusters(
+    g: CSRGraph, clusters: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Pure-numpy reference contraction; returns (coarse, fine_to_coarse).
+
+    Parallel coarse edges are merged with summed weights; intra-cluster
+    edges are dropped -- the same semantics as the production contraction
+    kernels, kept independent of them on purpose (metamorphic oracle).
+    """
+    _, dense = np.unique(clusters, return_inverse=True)
+    nc = int(dense.max()) + 1 if len(dense) else 0
+    src = np.repeat(np.arange(g.n, dtype=np.int64), g.degrees)
+    cs, cd = dense[src], dense[g.adjncy]
+    keep = cs != cd
+    key = cs[keep] * np.int64(nc) + cd[keep]
+    uniq, inv = np.unique(key, return_inverse=True)
+    wagg = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(wagg, inv, np.asarray(g.adjwgt)[keep])
+    csrc = (uniq // nc).astype(np.int64)
+    cdst = (uniq % nc).astype(np.int64)
+    counts = np.bincount(csrc, minlength=nc)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    vw = np.zeros(nc, dtype=np.int64)
+    np.add.at(vw, dense, np.asarray(g.vwgt))
+    return CSRGraph(indptr, cdst, wagg, vw), dense
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+# --------------------------------------------------------------------- #
+# 1. block-ID relabeling invariance
+# --------------------------------------------------------------------- #
+@given(
+    family=st.sampled_from(FAMILIES),
+    n=st.integers(16, 250),
+    seed=st.integers(0, 10_000),
+    k=st.integers(2, 9),
+    perm_seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_cut_and_imbalance_invariant_under_relabeling(
+    family, n, seed, k, perm_seed
+):
+    g = make_graph(family, n, seed)
+    part = random_partition(g.n, k, seed + 1)
+    pg = PartitionedGraph(g, k, part)
+    perm = np.random.default_rng(perm_seed).permutation(k).astype(np.int32)
+    pg2 = PartitionedGraph(g, k, perm[part])
+
+    assert pg2.cut_weight() == pg.cut_weight()
+    assert pg2.imbalance() == pytest.approx(pg.imbalance())
+    assert sorted(pg2.block_weights.tolist()) == sorted(
+        pg.block_weights.tolist()
+    )
+
+
+# --------------------------------------------------------------------- #
+# 2. disjoint-union additivity
+# --------------------------------------------------------------------- #
+@given(
+    f1=st.sampled_from(FAMILIES),
+    f2=st.sampled_from(FAMILIES),
+    n1=st.integers(16, 150),
+    n2=st.integers(16, 150),
+    seed=st.integers(0, 10_000),
+    k=st.integers(2, 9),
+)
+@settings(max_examples=30, deadline=None)
+def test_cut_additive_under_disjoint_union(f1, f2, n1, n2, seed, k):
+    g1 = make_graph(f1, n1, seed)
+    g2 = make_graph(f2, n2, seed + 7)
+    p1 = random_partition(g1.n, k, seed + 1)
+    p2 = random_partition(g2.n, k, seed + 2)
+    cut1 = PartitionedGraph(g1, k, p1).cut_weight()
+    cut2 = PartitionedGraph(g2, k, p2).cut_weight()
+
+    gu = disjoint_union(g1, g2)
+    gu.validate()
+    pu = PartitionedGraph(gu, k, np.concatenate([p1, p2]))
+    assert pu.cut_weight() == cut1 + cut2
+    # vertex weights are additive too, so block weights add component-wise
+    assert np.array_equal(
+        pu.block_weights,
+        PartitionedGraph(g1, k, p1).block_weights
+        + PartitionedGraph(g2, k, p2).block_weights,
+    )
+
+
+# --------------------------------------------------------------------- #
+# 3. contracting uncut edges preserves the cut
+# --------------------------------------------------------------------- #
+@given(
+    family=st.sampled_from(FAMILIES),
+    n=st.integers(16, 200),
+    seed=st.integers(0, 10_000),
+    k=st.integers(2, 6),
+    merge_fraction=st.floats(0.0, 1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_cut_preserved_under_uncut_edge_contraction(
+    family, n, seed, k, merge_fraction
+):
+    g = make_graph(family, n, seed)
+    part = random_partition(g.n, k, seed + 1)
+    fine_cut = PartitionedGraph(g, k, part).cut_weight()
+
+    # merge a random subset of *uncut* edges (endpoints in the same block)
+    rng = np.random.default_rng(seed + 2)
+    src = np.repeat(np.arange(g.n, dtype=np.int64), g.degrees)
+    intra = np.flatnonzero((part[src] == part[g.adjncy]) & (src < g.adjncy))
+    uf = _UnionFind(g.n)
+    for ei in intra.tolist():
+        if rng.random() < merge_fraction:
+            uf.union(int(src[ei]), int(g.adjncy[ei]))
+    clusters = np.array([uf.find(u) for u in range(g.n)], dtype=np.int64)
+
+    coarse, fine_to_coarse = contract_clusters(g, clusters)
+    coarse.validate()
+    # each cluster is connected through intra-block edges, so all members
+    # share a block; project the partition to the coarse graph
+    coarse_part = np.zeros(coarse.n, dtype=np.int32)
+    coarse_part[fine_to_coarse] = part
+    coarse_cut = PartitionedGraph(coarse, k, coarse_part).cut_weight()
+
+    assert coarse_cut == fine_cut
+    # total vertex weight is conserved by contraction
+    assert coarse.total_vertex_weight == g.total_vertex_weight
