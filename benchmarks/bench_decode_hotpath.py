@@ -13,13 +13,16 @@ equivalent numbers on the weblike Set-B stand-in:
 * the measured decode work factor fed into the cost model.
 
 Results are printed, persisted under ``benchmarks/results/`` and appended
-as a JSON record to ``BENCH_decode.json`` at the repo root -- the start of
-the repo's perf trajectory (one record per run, machine-local numbers).
+to the regression observatory's run database (``$REPRO_RUNDB``, default
+``BENCH_runs.jsonl`` at the repo root) as a versioned ``microbench``
+record -- the repo's perf trajectory, one record per run, machine-local
+numbers.  The pre-observatory flat records live on in ``BENCH_decode.json``
+(migrated to the trajectory schema) and were seeded into the run DB.
 """
 
 from __future__ import annotations
 
-import json
+import os
 import time
 from pathlib import Path
 
@@ -29,8 +32,9 @@ from repro.bench.reporting import render_table
 from repro.graph import access
 from repro.graph.compressed import compress_graph
 from repro.graph.generators import weblike
+from repro.obs.regress.rundb import RunDB, make_microbench_record
 
-BENCH_JSON = Path(__file__).parent.parent / "BENCH_decode.json"
+DEFAULT_RUNDB = Path(__file__).parent.parent / "BENCH_runs.jsonl"
 
 # weblike Set-B stand-in: power-law web graph, LP-sized chunks
 N = 10_000
@@ -91,17 +95,9 @@ def run_experiment() -> dict:
     }
 
 
-def _append_json(rec: dict) -> None:
-    history = []
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text())
-        except (ValueError, OSError):
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(rec)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+def _append_rundb(rec: dict) -> None:
+    db = RunDB(os.environ.get("REPRO_RUNDB", str(DEFAULT_RUNDB)))
+    db.append(make_microbench_record("decode_hotpath", rec))
 
 
 def test_decode_hotpath(run_once, report_sink):
@@ -130,7 +126,7 @@ def test_decode_hotpath(run_once, report_sink):
         ),
     )
     report_sink("decode_hotpath", table)
-    _append_json(rec)
+    _append_rundb(rec)
 
     # the vectorized layer must beat the seed per-vertex loop 5x (ISSUE 1)
     assert rec["bulk_vs_scalar_speedup"] >= 5.0, rec

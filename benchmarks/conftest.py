@@ -9,11 +9,19 @@ factors), and persists the rendered output under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+# Point the regression observatory's default run database at the repo-root
+# trajectory file: every figure script's run_matrix() appends its records
+# there unless the caller overrides $REPRO_RUNDB (see repro.obs.regress).
+os.environ.setdefault(
+    "REPRO_RUNDB", str(Path(__file__).parent.parent / "BENCH_runs.jsonl")
+)
 
 
 @pytest.fixture(scope="session")

@@ -13,17 +13,27 @@ from repro.bench.instances import (
     set_a_instances,
     set_b_instances,
 )
-from repro.bench.harness import RunRecord, aggregate, geometric_mean, harmonic_mean, run_matrix
+from repro.bench.harness import (
+    AggregateStat,
+    RunRecord,
+    aggregate,
+    geometric_mean,
+    harmonic_mean,
+    run_matrix,
+)
+from repro.bench.instances import SMOKE_SET
 from repro.bench.profiles import performance_profile
 from repro.bench.reporting import render_table
 
 __all__ = [
     "SET_A",
     "SET_B",
+    "SMOKE_SET",
     "Instance",
     "load_instance",
     "set_a_instances",
     "set_b_instances",
+    "AggregateStat",
     "RunRecord",
     "aggregate",
     "geometric_mean",

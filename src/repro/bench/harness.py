@@ -37,18 +37,51 @@ class RunRecord:
     extra: dict = field(default_factory=dict)
 
 
-def geometric_mean(values: Iterable[float]) -> float:
-    vals = [v for v in values if v > 0]
-    if not vals:
-        return 0.0
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+class AggregateStat(float):
+    """A mean that remembers its provenance.
+
+    Both aggregation rules below are undefined for non-positive values and
+    must drop them — but a dropped value (say a legal ``cut == 0``) silently
+    biasing the aggregate is exactly the kind of thing the regression
+    observatory exists to catch.  The result therefore carries ``used`` and
+    ``dropped`` counts; reports surface them next to the number.
+    """
+
+    used: int
+    dropped: int
+
+    def __new__(cls, value: float, used: int = 0, dropped: int = 0):
+        self = super().__new__(cls, value)
+        self.used = used
+        self.dropped = dropped
+        return self
+
+    def annotate(self) -> str:
+        """``"12.3 (2 non-positive dropped)"`` — for report footnotes."""
+        base = f"{float(self):.6g}"
+        if self.dropped:
+            return f"{base} ({self.dropped} non-positive dropped)"
+        return base
 
 
-def harmonic_mean(values: Iterable[float]) -> float:
-    vals = [v for v in values if v > 0]
-    if not vals:
-        return 0.0
-    return len(vals) / sum(1.0 / v for v in vals)
+def geometric_mean(values: Iterable[float]) -> AggregateStat:
+    vals = [v for v in values]
+    pos = [v for v in vals if v > 0]
+    dropped = len(vals) - len(pos)
+    if not pos:
+        return AggregateStat(0.0, 0, dropped)
+    mean = math.exp(sum(math.log(v) for v in pos) / len(pos))
+    return AggregateStat(mean, len(pos), dropped)
+
+
+def harmonic_mean(values: Iterable[float]) -> AggregateStat:
+    vals = [v for v in values]
+    pos = [v for v in vals if v > 0]
+    dropped = len(vals) - len(pos)
+    if not pos:
+        return AggregateStat(0.0, 0, dropped)
+    mean = len(pos) / sum(1.0 / v for v in pos)
+    return AggregateStat(mean, len(pos), dropped)
 
 
 def run_partitioner(
@@ -92,9 +125,27 @@ def run_matrix(
     *,
     runner: Callable[[PartitionerConfig, Instance, int, int], RunRecord] | None = None,
     progress: bool = False,
+    rundb=None,
+    record_bench: str = "matrix",
+    record_label: str | None = None,
 ) -> list[RunRecord]:
-    """The full cross product of configurations x instances x k x seeds."""
+    """The full cross product of configurations x instances x k x seeds.
+
+    Every record is appended to the regression observatory's run database:
+    either the ``rundb`` passed explicitly (a
+    :class:`~repro.obs.regress.rundb.RunDB`), or — when ``rundb`` is None —
+    the ``$REPRO_RUNDB`` default the bench suite's conftest points at the
+    repo-root ``BENCH_runs.jsonl``.  Pass ``rundb=False`` to disable
+    persistence outright.
+    """
+    from repro.obs.regress.rundb import default_rundb, environment_stamp, make_record
+
     runner = runner or run_partitioner
+    if rundb is None:
+        rundb = default_rundb()
+    elif rundb is False:
+        rundb = None
+    env = environment_stamp() if rundb is not None else None
     records: list[RunRecord] = []
     configs = list(configs)
     instances = list(instances)
@@ -107,13 +158,28 @@ def run_matrix(
         for inst in instances:
             for k in ks:
                 for seed in seeds:
-                    records.append(runner(cfg, inst, k, seed))
+                    rec = runner(cfg, inst, k, seed)
+                    records.append(rec)
+                    if rundb is not None:
+                        rundb.append(
+                            make_record(
+                                rec,
+                                bench=record_bench,
+                                label=record_label,
+                                config=cfg,
+                                env=env,
+                            )
+                        )
                     done += 1
-                    if progress and done % 10 == 0:
+                    if progress and done % 10 == 0 and done < total:
                         elapsed = time.perf_counter() - t0
                         print(
                             f"  [{done}/{total}] {elapsed:6.1f}s", flush=True
                         )
+    if progress:
+        elapsed = time.perf_counter() - t0
+        rate = f", {elapsed / done:.2f}s/run" if done else ""
+        print(f"  [{done}/{total}] done in {elapsed:.1f}s{rate}", flush=True)
     return records
 
 

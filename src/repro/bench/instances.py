@@ -90,6 +90,19 @@ SEM_GRAPHS: tuple[Instance, ...] = (
 # webbase2001 stand-in for the Figure 2 phase breakdown
 WEBBASE: Instance = Instance("webbase2001*", "weblike", (7000, 12.0, 51))
 
+# smoke matrix for the CI perf gate (`repro bench record --suite smoke`):
+# one mesh + one skewed-degree instance, small enough for seconds per run
+SMOKE_SET: tuple[Instance, ...] = (
+    Instance("fem-grid", "grid2d", (50, 50)),
+    Instance("web-small", "weblike", (2000, 14.0, 15)),
+)
+
+SUITES: dict[str, tuple[Instance, ...]] = {
+    "smoke": SMOKE_SET,
+    "set-a": SET_A,
+    "set-b": SET_B,
+}
+
 
 @lru_cache(maxsize=64)
 def load_instance(name: str):

@@ -8,6 +8,10 @@ Commands mirror how the original KaMinPar/TeraPart binaries are driven:
   and report ratios (gap-only vs gap+interval).
 * ``generate``   -- synthesize a benchmark graph to a file.
 * ``stats``      -- print n / m / degree / locality statistics.
+* ``bench``      -- the regression observatory: ``record`` a run matrix
+  into the append-only run database, capture a named ``baseline``,
+  ``compare`` candidate runs against it (with ``--gate`` for CI), and
+  render sparkline ``trend`` lines from the database history.
 
 Examples::
 
@@ -15,6 +19,11 @@ Examples::
     python -m repro partition g.bin -k 16 --preset terapart --out g.part16
     python -m repro compress g.bin
     python -m repro stats g.bin
+    python -m repro bench record --suite smoke --label base --db runs.jsonl
+    python -m repro bench baseline --name smoke --db runs.jsonl \
+        --out benchmarks/baselines/smoke.json
+    python -m repro bench compare --baseline benchmarks/baselines/smoke.json \
+        --db runs.jsonl --gate
 """
 
 from __future__ import annotations
@@ -155,6 +164,158 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# bench: the regression observatory (run DB / baselines / compare / trend)
+# --------------------------------------------------------------------- #
+def _bench_instances(args: argparse.Namespace):
+    from repro.bench.instances import SUITES
+
+    instances = list(SUITES[args.suite])
+    if args.instances:
+        wanted = set(args.instances)
+        instances = [i for i in instances if i.name in wanted]
+        missing = wanted - {i.name for i in instances}
+        if missing:
+            raise SystemExit(f"unknown instance(s) in suite: {sorted(missing)}")
+    return instances
+
+
+def cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.bench.harness import aggregate, run_matrix
+    from repro.bench.reporting import fmt_bytes, render_table
+    from repro.obs.regress.rundb import RunDB
+
+    configs = [
+        C.preset(p, p=args.threads).with_(obs=C.ObsConfig(enabled=True))
+        for p in args.preset
+    ]
+    instances = _bench_instances(args)
+    db = RunDB(args.db)
+    records = run_matrix(
+        configs,
+        instances,
+        args.k,
+        args.seeds,
+        progress=True,
+        rundb=db,
+        record_bench=args.suite,
+        record_label=args.label,
+    )
+    rows = []
+    cuts = aggregate(records, "cut")
+    walls = aggregate(records, "wall_seconds")
+    peaks = aggregate(records, "peak_bytes")
+    for key in sorted(cuts):
+        alg, inst, k = key
+        rows.append(
+            (alg, inst, k, f"{cuts[key]:.0f}", f"{walls[key]:.2f}s",
+             fmt_bytes(peaks[key]))
+        )
+    print(
+        render_table(
+            ["algorithm", "instance", "k", "mean cut", "mean wall", "mean peak"],
+            rows,
+            title=f"recorded {len(records)} runs -> {args.db}"
+            + (f" (label {args.label})" if args.label else ""),
+        )
+    )
+    return 0
+
+
+def _candidate_records(args: argparse.Namespace) -> list[dict]:
+    from repro.obs.regress.rundb import RunDB, latest_per_key, run_key
+
+    db = RunDB(args.db)
+    records = db.query(
+        kind="partition",
+        label=args.label,
+        bench=getattr(args, "suite", None),
+    )
+    # append order is chronological: keep the freshest run per identity
+    return latest_per_key(records, run_key)
+
+
+def cmd_bench_baseline(args: argparse.Namespace) -> int:
+    from repro.obs.regress.compare import capture_baseline
+    from repro.obs.regress.rundb import environment_stamp
+
+    records = _candidate_records(args)
+    if not records:
+        raise SystemExit(f"no partition records in {args.db} match the filter")
+    base = capture_baseline(records, args.name, env=environment_stamp())
+    base.save(args.out)
+    n_seeds = {len(g["seeds"]) for g in base.groups.values()}
+    print(
+        f"baseline '{args.name}': {len(base.groups)} groups "
+        f"({sorted(n_seeds)} seeds each) -> {args.out}"
+    )
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs.regress import report as R
+    from repro.obs.regress.compare import (
+        Baseline,
+        CompareThresholds,
+        compare,
+    )
+    from repro.obs.regress.rundb import RunDB
+
+    baseline = Baseline.load(args.baseline)
+    candidates = _candidate_records(args)
+    if not candidates:
+        raise SystemExit(f"no candidate records in {args.db} match the filter")
+    thresholds = CompareThresholds()
+    if args.metrics:
+        metrics = tuple(args.metrics.split(","))
+    else:
+        metrics = ("cut", "peak_bytes", "wall_seconds")
+    result = compare(
+        baseline, candidates, metrics=metrics, thresholds=thresholds
+    )
+    trends = R.trend_lines(RunDB(args.db).load(), metric=metrics[0])
+    md = R.render_markdown(
+        result,
+        baseline=baseline,
+        candidate_label=args.label,
+        trend_lines=trends,
+    )
+    print(md)
+    if args.report:
+        Path(args.report).write_text(md)
+        print(f"report:     {args.report}")
+    traj = R.trajectory_dict(
+        result,
+        candidate_records=candidates,
+        baseline=baseline,
+        candidate_label=args.label,
+    )
+    R.write_trajectory(args.trajectory, traj)
+    print(f"trajectory: {args.trajectory}")
+    if args.gate and result.regressed:
+        print("perf gate: FAILED (confirmed regression)")
+        return 1
+    if args.gate:
+        print("perf gate: passed")
+    return 0
+
+
+def cmd_bench_trend(args: argparse.Namespace) -> int:
+    from repro.obs.regress import report as R
+    from repro.obs.regress.rundb import RunDB
+
+    records = RunDB(args.db).load()
+    if not records:
+        raise SystemExit(f"run DB {args.db} is empty")
+    lines = R.trend_lines(records, metric=args.metric)
+    lines += R.microbench_trend_lines(records)
+    if not lines:
+        print("(no matching records)")
+        return 0
+    print("\n".join(lines))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = ap.add_subparsers(dest="command", required=True)
@@ -233,7 +394,117 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="print graph statistics")
     p.add_argument("graph")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "bench",
+        help="regression observatory: record runs, baseline, compare, trend",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def _common_db_args(bp, *, suite: bool = True):
+        bp.add_argument(
+            "--db",
+            default="BENCH_runs.jsonl",
+            help="append-only JSONL run database (default: %(default)s)",
+        )
+        bp.add_argument(
+            "--label",
+            default=None,
+            help="grouping label stamped on / filtering DB records",
+        )
+        if suite:
+            from repro.bench.instances import SUITES
+
+            bp.add_argument(
+                "--suite",
+                default="smoke",
+                choices=sorted(SUITES),
+                help="instance suite (default: %(default)s)",
+            )
+
+    bp = bench_sub.add_parser(
+        "record", help="run a matrix with obs enabled and append to the DB"
+    )
+    _common_db_args(bp)
+    bp.add_argument(
+        "--preset",
+        action="append",
+        default=None,
+        choices=sorted(C.PRESETS),
+        help="config preset(s) to run (repeatable; default: terapart)",
+    )
+    bp.add_argument(
+        "--instances",
+        nargs="+",
+        default=None,
+        help="restrict the suite to these instance names",
+    )
+    bp.add_argument("-k", type=int, nargs="+", default=[4])
+    bp.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    bp.add_argument("--threads", type=int, default=8)
+    bp.set_defaults(
+        func=lambda a: cmd_bench_record(_default_presets(a)),
+    )
+
+    bp = bench_sub.add_parser(
+        "baseline", help="capture a named baseline from recorded runs"
+    )
+    _common_db_args(bp)
+    bp.add_argument("--name", required=True, help="baseline name")
+    bp.add_argument(
+        "--out",
+        default=None,
+        help="output JSON (default: benchmarks/baselines/<name>.json)",
+    )
+    bp.set_defaults(func=lambda a: cmd_bench_baseline(_default_baseline_out(a)))
+
+    bp = bench_sub.add_parser(
+        "compare",
+        help="compare candidate runs against a baseline; --gate exits 1 "
+        "on a confirmed regression",
+    )
+    _common_db_args(bp)
+    bp.add_argument(
+        "--baseline", required=True, help="baseline JSON captured earlier"
+    )
+    bp.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metric list (default: cut,peak_bytes,wall_seconds)",
+    )
+    bp.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 if any metric is classified regressed or the "
+        "imbalance hard gate fails",
+    )
+    bp.add_argument("--report", default=None, help="write the Markdown report here")
+    bp.add_argument(
+        "--trajectory",
+        default="BENCH_trajectory.json",
+        help="machine-readable output (default: %(default)s)",
+    )
+    bp.set_defaults(func=cmd_bench_compare)
+
+    bp = bench_sub.add_parser(
+        "trend", help="sparkline trends over the run DB history"
+    )
+    _common_db_args(bp, suite=False)
+    bp.add_argument("--metric", default="cut")
+    bp.set_defaults(func=cmd_bench_trend)
     return ap
+
+
+def _default_presets(args: argparse.Namespace) -> argparse.Namespace:
+    if not args.preset:
+        args.preset = ["terapart"]
+    return args
+
+
+def _default_baseline_out(args: argparse.Namespace) -> argparse.Namespace:
+    if args.out is None:
+        args.out = f"benchmarks/baselines/{args.name}.json"
+    return args
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 
 class GainTableKind(enum.Enum):
@@ -142,6 +144,30 @@ class PartitionerConfig:
 
     def with_(self, **kwargs) -> "PartitionerConfig":
         return replace(self, **kwargs)
+
+
+def config_to_dict(cfg: PartitionerConfig) -> dict:
+    """JSON-safe dict of a config (enums collapse to their values)."""
+
+    def _default(o):
+        if isinstance(o, enum.Enum):
+            return o.value
+        return str(o)
+
+    return json.loads(json.dumps(asdict(cfg), default=_default))
+
+
+def config_digest(cfg: PartitionerConfig) -> str:
+    """Stable short hash identifying a configuration *variant*.
+
+    The seed is excluded: runs of the same variant under different seeds
+    share a digest, which is what the run database groups by.  Any other
+    knob change (including debug/obs toggles) yields a new digest.
+    """
+    d = config_to_dict(cfg)
+    d.pop("seed", None)
+    payload = json.dumps(d, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 # --------------------------------------------------------------------- #

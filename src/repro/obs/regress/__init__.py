@@ -1,0 +1,83 @@
+"""Regression observatory: persisted run DB, baselines, attribution.
+
+Four layers (DESIGN.md §8):
+
+* :mod:`~repro.obs.regress.rundb`   — append-only JSONL run database with
+  versioned, provenance-stamped records and schema migration,
+* :mod:`~repro.obs.regress.compare` — named baselines + seed-aware
+  bootstrap classification (improved / neutral / regressed) with the
+  imbalance hard gate,
+* :mod:`~repro.obs.regress.attrib`  — per-phase diffing of the obs
+  waterfalls to *name* the phase behind a wall/memory regression,
+* :mod:`~repro.obs.regress.report`  — Markdown report with sparkline
+  trends and the machine-readable ``BENCH_trajectory.json``.
+
+Driven by ``repro bench record|baseline|compare|trend`` (see
+EXPERIMENTS.md for the workflow) and by the CI perf gate.
+"""
+
+from repro.obs.regress.attrib import (
+    PhaseDelta,
+    aggregate_profiles,
+    attribute,
+    diff_profiles,
+    format_attribution,
+    phase_profile,
+)
+from repro.obs.regress.compare import (
+    Baseline,
+    CompareReport,
+    CompareThresholds,
+    GateResult,
+    MetricVerdict,
+    capture_baseline,
+    compare,
+)
+from repro.obs.regress.report import (
+    microbench_trend_lines,
+    render_markdown,
+    trajectory_dict,
+    trend_lines,
+    write_trajectory,
+)
+from repro.obs.regress.rundb import (
+    RUNDB_SCHEMA,
+    RunDB,
+    default_rundb,
+    environment_stamp,
+    latest_per_key,
+    make_microbench_record,
+    make_record,
+    migrate_record,
+    run_key,
+)
+
+__all__ = [
+    "RUNDB_SCHEMA",
+    "Baseline",
+    "CompareReport",
+    "CompareThresholds",
+    "GateResult",
+    "MetricVerdict",
+    "PhaseDelta",
+    "RunDB",
+    "aggregate_profiles",
+    "attribute",
+    "capture_baseline",
+    "compare",
+    "default_rundb",
+    "diff_profiles",
+    "environment_stamp",
+    "format_attribution",
+    "latest_per_key",
+    "make_microbench_record",
+    "make_record",
+    "microbench_trend_lines",
+    "migrate_record",
+    "phase_profile",
+    "render_markdown",
+    "run_key",
+    "trajectory_dict",
+    "trend_lines",
+    "write_trajectory",
+]

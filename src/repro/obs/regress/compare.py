@@ -1,0 +1,402 @@
+"""Baseline capture and statistical baseline-vs-candidate comparison.
+
+A *baseline* is a named snapshot of a run matrix: per (algorithm,
+instance, k) the per-seed values of every gated metric, plus a condensed
+per-phase profile for attribution.  A *comparison* pairs candidate
+records against the baseline per (algorithm, instance, k), forms the
+seed-mean ratio candidate/baseline for each pair, and classifies each
+metric from a bootstrap confidence interval on the geometric mean of
+those ratios (the paper's cross-instance aggregate, Section VI):
+
+* ``regressed``  — the CI lies entirely above ``1 + neutral_band``,
+* ``improved``   — the CI lies entirely below ``1 - neutral_band``,
+* ``neutral``    — otherwise (the CI straddles the band; CI noise never
+  fails a gate).
+
+All gated metrics are lower-is-better.  Two hard rules sit outside the
+statistics: a candidate run violating its balance constraint fails the
+gate outright, and a pair whose baseline value is 0 while the candidate
+is positive (a vanished perfect cut) is a regression no geometric mean
+can express, so it forces the metric to ``regressed``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.regress.attrib import phase_profile, aggregate_profiles
+
+BASELINE_SCHEMA = 2
+
+#: metrics compared by default (all lower-is-better)
+DEFAULT_METRICS = ("cut", "peak_bytes", "wall_seconds")
+
+#: half-width of the per-metric neutral band around ratio 1.0.  Wall gets a
+#: wide band: CI runners are noisy and a wall gate must not cry wolf.
+DEFAULT_NEUTRAL_BANDS = {
+    "cut": 0.02,
+    "peak_bytes": 0.02,
+    "modeled_seconds": 0.05,
+    "wall_seconds": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class CompareThresholds:
+    """Knobs of the classifier; defaults match the CI perf gate."""
+
+    neutral_bands: dict = field(
+        default_factory=lambda: dict(DEFAULT_NEUTRAL_BANDS)
+    )
+    confidence: float = 0.95
+    bootstrap_samples: int = 1000
+    rng_seed: int = 0
+
+    def band(self, metric: str) -> float:
+        return self.neutral_bands.get(metric, 0.05)
+
+
+# --------------------------------------------------------------------- #
+# baselines
+# --------------------------------------------------------------------- #
+def group_key(run: dict) -> str:
+    return f"{run['algorithm']}|{run['instance']}|{run['k']}"
+
+
+@dataclass
+class Baseline:
+    """Named snapshot of a run matrix, ready to be committed to the repo."""
+
+    name: str
+    env: dict = field(default_factory=dict)
+    created_unix: float | None = None
+    # key -> {"algorithm", "instance", "k", "seeds", "metrics", "balanced",
+    #          "profile"}
+    groups: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "kind": "baseline",
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "env": self.env,
+            "groups": self.groups,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Baseline":
+        version = d.get("schema", 0)
+        if version > BASELINE_SCHEMA:
+            raise ValueError(
+                f"baseline schema {version} is newer than supported "
+                f"{BASELINE_SCHEMA}"
+            )
+        return cls(
+            name=d.get("name", "unnamed"),
+            env=d.get("env", {}),
+            created_unix=d.get("created_unix"),
+            groups=d.get("groups", {}),
+        )
+
+    def save(self, path: str | Path) -> None:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        with open(p, "w") as f:
+            json.dump(self.to_dict(), f, indent=1, sort_keys=False)
+            f.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+
+def capture_baseline(
+    records: list[dict],
+    name: str,
+    *,
+    env: dict | None = None,
+    metrics: tuple[str, ...] = DEFAULT_METRICS + ("imbalance",),
+    timestamp: float | None = None,
+) -> Baseline:
+    """Snapshot partition-kind run-DB records into a named baseline.
+
+    The raw obs registries are condensed to per-phase profiles at capture
+    time, so a committed baseline stays a few KB however long the runs
+    traced."""
+    base = Baseline(
+        name=name,
+        env=env if env is not None else {},
+        created_unix=time.time() if timestamp is None else timestamp,
+    )
+    by_key: dict[str, list[dict]] = {}
+    for rec in records:
+        if rec.get("kind") != "partition":
+            continue
+        by_key.setdefault(group_key(rec["run"]), []).append(rec)
+    for key, recs in sorted(by_key.items()):
+        recs = sorted(recs, key=lambda r: r["run"]["seed"])
+        run0 = recs[0]["run"]
+        base.groups[key] = {
+            "algorithm": run0["algorithm"],
+            "instance": run0["instance"],
+            "k": run0["k"],
+            "seeds": [r["run"]["seed"] for r in recs],
+            "metrics": {
+                m: [float(r["run"][m]) for r in recs] for m in metrics
+            },
+            "balanced": [bool(r["run"]["balanced"]) for r in recs],
+            "profile": aggregate_profiles(
+                phase_profile(r["obs"]) for r in recs if r.get("obs")
+            ),
+        }
+    return base
+
+
+# --------------------------------------------------------------------- #
+# comparison
+# --------------------------------------------------------------------- #
+@dataclass
+class MetricVerdict:
+    """One metric's classification across all compared (instance, k)."""
+
+    metric: str
+    ratio: float  # geometric mean of per-key seed-mean ratios
+    ci_low: float
+    ci_high: float
+    classification: str  # improved | neutral | regressed
+    n_keys: int
+    neutral_band: float
+    per_key: dict = field(default_factory=dict)
+    dropped_pairs: int = 0  # zero/zero or positive/zero pairs left out
+    infinite_pairs: int = 0  # baseline 0 -> candidate > 0 (forces regressed)
+
+    def to_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "ratio": self.ratio,
+            "ci": [self.ci_low, self.ci_high],
+            "classification": self.classification,
+            "n_keys": self.n_keys,
+            "neutral_band": self.neutral_band,
+            "per_key": self.per_key,
+            "dropped_pairs": self.dropped_pairs,
+            "infinite_pairs": self.infinite_pairs,
+        }
+
+
+@dataclass
+class GateResult:
+    """The imbalance hard gate: no statistics, any violation fails."""
+
+    violations: list = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {"passed": self.passed, "violations": self.violations}
+
+
+@dataclass
+class CompareReport:
+    baseline_name: str
+    verdicts: list[MetricVerdict] = field(default_factory=list)
+    gate: GateResult = field(default_factory=GateResult)
+    keys_compared: list[str] = field(default_factory=list)
+    keys_missing: list[str] = field(default_factory=list)
+    attribution: list = field(default_factory=list)  # PhaseDelta list
+
+    @property
+    def regressed_metrics(self) -> list[str]:
+        return [
+            v.metric for v in self.verdicts if v.classification == "regressed"
+        ]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressed_metrics) or not self.gate.passed
+
+    def verdict_for(self, metric: str) -> MetricVerdict | None:
+        for v in self.verdicts:
+            if v.metric == metric:
+                return v
+        return None
+
+
+def _pair_ratio(base_mean: float, cand_mean: float) -> float | None:
+    """Ratio of seed means; None = drop, inf = unexpressible regression."""
+    if base_mean > 0 and cand_mean > 0:
+        return cand_mean / base_mean
+    if base_mean == 0 and cand_mean == 0:
+        return 1.0  # both perfect: identical, counts as ratio 1
+    if base_mean == 0 and cand_mean > 0:
+        return float("inf")
+    return None  # candidate reached 0 from positive: drop from geomean
+
+
+def _bootstrap_ci(
+    pairs: list[tuple[list[float], list[float]]],
+    *,
+    n_samples: int,
+    confidence: float,
+    rng: np.random.Generator,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI of the geometric-mean ratio.
+
+    Resamples both levels of the design: (instance, k) pairs with
+    replacement, and seed values within each sampled pair (seed-aware:
+    seed-to-seed variance widens the interval)."""
+    stats = np.empty(n_samples)
+    n = len(pairs)
+    for s in range(n_samples):
+        idxs = rng.integers(0, n, n)
+        logs = []
+        for i in idxs:
+            b, c = pairs[i]
+            bs = [b[j] for j in rng.integers(0, len(b), len(b))]
+            cs = [c[j] for j in rng.integers(0, len(c), len(c))]
+            r = _pair_ratio(float(np.mean(bs)), float(np.mean(cs)))
+            if r is not None and np.isfinite(r) and r > 0:
+                logs.append(np.log(r))
+        stats[s] = float(np.exp(np.mean(logs))) if logs else 1.0
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+def _classify(
+    ratio: float,
+    ci_low: float,
+    ci_high: float,
+    band: float,
+    infinite_pairs: int,
+) -> str:
+    if infinite_pairs:
+        return "regressed"
+    if ci_low > 1.0 + band:
+        return "regressed"
+    if ci_high < 1.0 - band:
+        return "improved"
+    return "neutral"
+
+
+def compare(
+    baseline: Baseline,
+    candidate_records: list[dict],
+    *,
+    metrics: tuple[str, ...] = DEFAULT_METRICS,
+    thresholds: CompareThresholds | None = None,
+    attribute_regressions: bool = True,
+) -> CompareReport:
+    """Classify candidate run-DB records against a baseline."""
+    from repro.obs.regress import attrib
+
+    thresholds = thresholds or CompareThresholds()
+    rng = np.random.default_rng(thresholds.rng_seed)
+    report = CompareReport(baseline_name=baseline.name)
+
+    cand_by_key: dict[str, list[dict]] = {}
+    for rec in candidate_records:
+        if rec.get("kind") != "partition":
+            continue
+        cand_by_key.setdefault(group_key(rec["run"]), []).append(rec)
+
+    shared = sorted(set(baseline.groups) & set(cand_by_key))
+    report.keys_compared = shared
+    report.keys_missing = sorted(set(baseline.groups) - set(cand_by_key))
+
+    # imbalance hard gate: any unbalanced candidate run fails, full stop
+    for key in sorted(cand_by_key):
+        for rec in cand_by_key[key]:
+            run = rec["run"]
+            if not run.get("balanced", True):
+                report.gate.violations.append(
+                    {
+                        "key": key,
+                        "seed": run.get("seed"),
+                        "imbalance": run.get("imbalance"),
+                    }
+                )
+
+    if not shared:
+        return report
+
+    for metric in metrics:
+        pairs: list[tuple[list[float], list[float]]] = []
+        per_key: dict[str, float] = {}
+        dropped = infinite = 0
+        point_ratios: list[float] = []
+        for key in shared:
+            bvals = baseline.groups[key]["metrics"].get(metric)
+            if not bvals:
+                continue
+            cvals = [
+                float(r["run"][metric])
+                for r in cand_by_key[key]
+                if metric in r["run"]
+            ]
+            if not cvals:
+                continue
+            r = _pair_ratio(float(np.mean(bvals)), float(np.mean(cvals)))
+            if r is None:
+                dropped += 1
+                per_key[key] = 0.0
+                continue
+            if r == float("inf"):
+                infinite += 1
+                per_key[key] = float("inf")
+                continue
+            per_key[key] = r
+            point_ratios.append(r)
+            pairs.append((list(map(float, bvals)), cvals))
+        if not per_key:
+            continue
+        if pairs:
+            ratio = float(np.exp(np.mean(np.log(point_ratios))))
+            ci_low, ci_high = _bootstrap_ci(
+                pairs,
+                n_samples=thresholds.bootstrap_samples,
+                confidence=thresholds.confidence,
+                rng=rng,
+            )
+        else:
+            ratio, ci_low, ci_high = float("inf"), float("inf"), float("inf")
+        band = thresholds.band(metric)
+        report.verdicts.append(
+            MetricVerdict(
+                metric=metric,
+                ratio=ratio,
+                ci_low=ci_low,
+                ci_high=ci_high,
+                classification=_classify(ratio, ci_low, ci_high, band, infinite),
+                n_keys=len(per_key),
+                neutral_band=band,
+                per_key=per_key,
+                dropped_pairs=dropped,
+                infinite_pairs=infinite,
+            )
+        )
+
+    regressed = report.regressed_metrics
+    if attribute_regressions and regressed:
+        base_profile = aggregate_profiles(
+            baseline.groups[key].get("profile", {}) for key in shared
+        )
+        cand_recs = [r for key in shared for r in cand_by_key[key]]
+        report.attribution = attrib.attribute(
+            [],
+            cand_recs,
+            regressed_metrics=regressed,
+            base_profile=base_profile,
+        )
+    return report

@@ -1,0 +1,314 @@
+"""Append-only run database for the regression observatory.
+
+Every benchmark run — a full partitioner run out of the bench harness or a
+microbenchmark record like the decode hot path — is persisted as one JSON
+line in a ``.jsonl`` file.  Records are versioned (``RUNDB_SCHEMA``) and
+stamped with enough provenance to make any two records comparable later:
+
+* the environment: git SHA (+dirty flag), python / numpy versions, platform,
+* the configuration: preset name plus the seed-independent
+  :func:`~repro.core.config.config_digest`,
+* the measurement itself (``run`` section), and
+* the per-phase observability snapshot (``obs``) when the run was traced.
+
+The store is append-only by construction: :meth:`RunDB.append` opens the
+file in ``"a"`` mode and never rewrites history.  Loading migrates every
+record to the current schema, so legacy flat records (the pre-observatory
+``BENCH_decode.json`` entries, schema 0) keep working.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from collections.abc import Callable, Iterable
+from pathlib import Path
+
+RUNDB_SCHEMA = 2
+
+#: metrics of a partition-kind record, in report order
+PARTITION_METRICS = (
+    "cut",
+    "wall_seconds",
+    "modeled_seconds",
+    "peak_bytes",
+    "imbalance",
+)
+
+
+# --------------------------------------------------------------------- #
+# provenance stamps
+# --------------------------------------------------------------------- #
+def environment_stamp() -> dict:
+    """Best-effort provenance of the machine/tree producing a record."""
+    git_sha, git_dirty = _git_state()
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "git_sha": git_sha,
+        "git_dirty": git_dirty,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+def _git_state() -> tuple[str | None, bool | None]:
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if sha.returncode != 0:
+            return None, None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return None, None
+
+
+def config_stamp(cfg) -> dict:
+    """Name + seed-independent digest of a :class:`PartitionerConfig`."""
+    from repro.core.config import config_digest
+
+    return {"name": cfg.name, "digest": config_digest(cfg)}
+
+
+# --------------------------------------------------------------------- #
+# record builders
+# --------------------------------------------------------------------- #
+def make_record(
+    run_record,
+    *,
+    bench: str,
+    label: str | None = None,
+    config=None,
+    env: dict | None = None,
+    timestamp: float | None = None,
+) -> dict:
+    """Stamp a harness :class:`~repro.bench.harness.RunRecord` into a v2 DB
+    record.  ``run_record`` is duck-typed (anything with the RunRecord
+    fields works), so this module never imports the bench harness."""
+    extra = dict(getattr(run_record, "extra", None) or {})
+    obs = extra.pop("obs", None)
+    rec = {
+        "schema": RUNDB_SCHEMA,
+        "kind": "partition",
+        "bench": bench,
+        "label": label,
+        "recorded_unix": time.time() if timestamp is None else timestamp,
+        "env": env if env is not None else environment_stamp(),
+        "config": config_stamp(config) if config is not None else None,
+        "run": {
+            "algorithm": run_record.algorithm,
+            "instance": run_record.instance,
+            "k": int(run_record.k),
+            "seed": int(run_record.seed),
+            "cut": int(run_record.cut),
+            "balanced": bool(run_record.balanced),
+            "imbalance": float(run_record.imbalance),
+            "wall_seconds": float(run_record.wall_seconds),
+            "modeled_seconds": float(run_record.modeled_seconds),
+            "peak_bytes": int(run_record.peak_bytes),
+            "extra": extra,
+        },
+        "obs": obs,
+    }
+    return rec
+
+
+def make_microbench_record(
+    bench: str,
+    metrics: dict,
+    *,
+    label: str | None = None,
+    env: dict | None = None,
+    timestamp: float | None = None,
+) -> dict:
+    """Stamp a flat microbenchmark metric dict into a v2 DB record."""
+    return {
+        "schema": RUNDB_SCHEMA,
+        "kind": "microbench",
+        "bench": bench,
+        "label": label,
+        "recorded_unix": time.time() if timestamp is None else timestamp,
+        "env": env if env is not None else environment_stamp(),
+        "config": None,
+        "run": dict(metrics),
+        "obs": None,
+    }
+
+
+# --------------------------------------------------------------------- #
+# schema migration
+# --------------------------------------------------------------------- #
+def migrate_record(rec: dict) -> dict:
+    """Upgrade a record of any historical schema to ``RUNDB_SCHEMA``.
+
+    * schema 0 (unversioned): the flat metric dicts the decode hot-path
+      bench appended to ``BENCH_decode.json`` before the observatory
+      existed.  They become ``microbench`` records with unknown provenance.
+    * schema 2: current; missing optional fields are filled with defaults.
+
+    Records from a *future* schema raise — refusing to silently reinterpret
+    data written by newer code.
+    """
+    version = rec.get("schema", 0)
+    if version > RUNDB_SCHEMA:
+        raise ValueError(
+            f"run-DB record has schema {version}, newer than supported "
+            f"{RUNDB_SCHEMA}; upgrade the code reading it"
+        )
+    if version == 0:
+        # legacy flat record: everything measured lives at the top level
+        bench = rec.pop("bench", "decode_hotpath")
+        return {
+            "schema": RUNDB_SCHEMA,
+            "kind": "microbench",
+            "bench": bench,
+            "label": rec.pop("label", "legacy"),
+            "recorded_unix": rec.pop("recorded_unix", None),
+            "env": {
+                "git_sha": None,
+                "git_dirty": None,
+                "python": None,
+                "numpy": None,
+                "platform": None,
+                "machine": None,
+            },
+            "config": None,
+            "run": dict(rec),
+            "obs": None,
+        }
+    out = dict(rec)
+    out.setdefault("kind", "partition")
+    out.setdefault("bench", "unknown")
+    out.setdefault("label", None)
+    out.setdefault("recorded_unix", None)
+    out.setdefault("env", {})
+    out.setdefault("config", None)
+    out.setdefault("run", {})
+    out.setdefault("obs", None)
+    out["schema"] = RUNDB_SCHEMA
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the store
+# --------------------------------------------------------------------- #
+class RunDB:
+    """One JSONL file of versioned run records, append-only."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    # -- writing ------------------------------------------------------- #
+    def append(self, record: dict) -> dict:
+        """Migrate-stamp and append one record; returns the stored form."""
+        rec = migrate_record(record)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as f:
+            f.write(json.dumps(rec, sort_keys=False) + "\n")
+        return rec
+
+    def extend(self, records: Iterable[dict]) -> list[dict]:
+        return [self.append(r) for r in records]
+
+    # -- reading ------------------------------------------------------- #
+    def load(self) -> list[dict]:
+        """All records, migrated to the current schema, in append order."""
+        if not self.path.exists():
+            return []
+        out = []
+        with open(self.path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                out.append(migrate_record(json.loads(line)))
+        return out
+
+    def query(
+        self,
+        *,
+        kind: str | None = None,
+        bench: str | None = None,
+        label: str | None = None,
+        algorithm: str | None = None,
+        instance: str | None = None,
+        k: int | None = None,
+        since: float | None = None,
+        predicate: Callable[[dict], bool] | None = None,
+    ) -> list[dict]:
+        """Filter records; every criterion is optional and conjunctive."""
+        out = []
+        for rec in self.load():
+            run = rec.get("run", {})
+            if kind is not None and rec.get("kind") != kind:
+                continue
+            if bench is not None and rec.get("bench") != bench:
+                continue
+            if label is not None and rec.get("label") != label:
+                continue
+            if algorithm is not None and run.get("algorithm") != algorithm:
+                continue
+            if instance is not None and run.get("instance") != instance:
+                continue
+            if k is not None and run.get("k") != k:
+                continue
+            if since is not None and (rec.get("recorded_unix") or 0) < since:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+
+def latest_per_key(
+    records: Iterable[dict], key_fn: Callable[[dict], tuple]
+) -> list[dict]:
+    """Keep only the last (most recently appended) record per key."""
+    by_key: dict[tuple, dict] = {}
+    for rec in records:
+        by_key[key_fn(rec)] = rec
+    return list(by_key.values())
+
+
+def run_key(rec: dict) -> tuple:
+    """The identity a partition record is compared under."""
+    run = rec.get("run", {})
+    return (
+        run.get("algorithm"),
+        run.get("instance"),
+        run.get("k"),
+        run.get("seed"),
+    )
+
+
+def default_rundb() -> RunDB | None:
+    """The process-wide default DB: ``$REPRO_RUNDB`` if set, else none.
+
+    The bench suite's conftest points this at the repo-root
+    ``BENCH_runs.jsonl`` so every figure script appends its runs by
+    default; unit tests (no env var) stay side-effect free.
+    """
+    import os
+
+    path = os.environ.get("REPRO_RUNDB")
+    return RunDB(path) if path else None

@@ -51,6 +51,31 @@ class TestMeans:
     def test_zero_values_skipped(self):
         assert geometric_mean([0, 10]) == pytest.approx(10.0)
 
+    def test_dropped_values_are_counted(self):
+        """A legal cut == 0 must not vanish silently from the aggregate."""
+        g = geometric_mean([0, 10])
+        assert g.used == 1 and g.dropped == 1
+        h = harmonic_mean([-1.0, 2.0, 6.0])
+        assert h == pytest.approx(3.0)
+        assert h.used == 2 and h.dropped == 1
+
+    def test_no_drops_means_zero_count(self):
+        g = geometric_mean([1.0, 100.0])
+        assert g.used == 2 and g.dropped == 0
+
+    def test_all_dropped(self):
+        g = geometric_mean([0, -5])
+        assert g == 0.0 and g.used == 0 and g.dropped == 2
+
+    def test_annotate_surfaces_drops(self):
+        assert "1 non-positive dropped" in geometric_mean([0, 10]).annotate()
+        assert "dropped" not in geometric_mean([10.0]).annotate()
+
+    def test_aggregate_stat_behaves_like_float(self):
+        g = geometric_mean([1, 100])
+        assert g * 2 == pytest.approx(20.0)
+        assert isinstance(g + 1, float)
+
 
 def _rec(alg, inst, k, seed, cut, **kw):
     defaults = dict(
@@ -98,6 +123,82 @@ class TestAggregation:
         insts = [SET_A[0], SET_A[1]]
         run_matrix([C.terapart()], insts, [2, 4], [0, 1], runner=runner)
         assert len(calls) == 8
+
+    def _runner(self, cfg, inst, k, seed):
+        return _rec(cfg.name, inst.name, k, seed, 1)
+
+    def test_progress_reports_completion_for_any_matrix_size(self, capsys):
+        """Matrices not divisible by 10 still get a final summary line."""
+        from repro.core import config as C
+
+        run_matrix(
+            [C.terapart()],
+            [SET_A[0]],
+            [2],
+            [0, 1, 2],
+            runner=self._runner,
+            progress=True,
+            rundb=False,
+        )
+        out = capsys.readouterr().out
+        assert "[3/3] done in" in out
+        assert "s/run" in out
+
+    def test_progress_periodic_plus_final(self, capsys):
+        from repro.core import config as C
+
+        run_matrix(
+            [C.terapart()],
+            [SET_A[0]],
+            [2],
+            list(range(20)),
+            runner=self._runner,
+            progress=True,
+            rundb=False,
+        )
+        out = capsys.readouterr().out
+        assert "[10/20]" in out
+        assert "[20/20] done in" in out
+        # the final record is reported by the summary, not a periodic line
+        assert out.count("[20/20]") == 1
+
+    def test_run_matrix_appends_to_rundb(self, tmp_path):
+        from repro.core import config as C
+        from repro.obs.regress.rundb import RunDB
+
+        db = RunDB(tmp_path / "runs.jsonl")
+        run_matrix(
+            [C.terapart()],
+            [SET_A[0]],
+            [2, 4],
+            [0, 1],
+            runner=self._runner,
+            rundb=db,
+            record_bench="unit",
+            record_label="lbl",
+        )
+        recs = db.load()
+        assert len(recs) == 4
+        assert {r["bench"] for r in recs} == {"unit"}
+        assert {r["label"] for r in recs} == {"lbl"}
+        assert {r["run"]["k"] for r in recs} == {2, 4}
+        assert all(r["config"]["name"] == "terapart" for r in recs)
+
+    def test_run_matrix_rundb_disabled_by_default(self, monkeypatch, tmp_path):
+        from repro.core import config as C
+
+        monkeypatch.delenv("REPRO_RUNDB", raising=False)
+        run_matrix([C.terapart()], [SET_A[0]], [2], [0], runner=self._runner)
+        # no env var, no explicit db: nothing persisted anywhere
+
+    def test_run_matrix_env_default_rundb(self, monkeypatch, tmp_path):
+        from repro.core import config as C
+
+        monkeypatch.setenv("REPRO_RUNDB", str(tmp_path / "envdb.jsonl"))
+        run_matrix([C.terapart()], [SET_A[0]], [2], [0], runner=self._runner)
+        from repro.obs.regress.rundb import RunDB
+
+        assert len(RunDB(tmp_path / "envdb.jsonl").load()) == 1
 
 
 class TestPerformanceProfiles:

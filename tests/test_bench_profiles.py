@@ -1,0 +1,102 @@
+"""Tests for Dolan-Moré performance profiles (repro.bench.profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profiles import (
+    performance_profile,
+    profile_summary,
+    render_profile,
+)
+
+TAUS = np.array([1.0, 1.05, 1.1, 1.5, 2.0])
+
+
+class TestPerformanceProfile:
+    def test_exact_fractions(self):
+        cuts = {
+            "a": {"i1": 100.0, "i2": 200.0},
+            "b": {"i1": 110.0, "i2": 190.0},
+        }
+        taus, profiles = performance_profile(cuts, taus=TAUS)
+        # best: i1 -> a (100), i2 -> b (190)
+        # a: i1 ratio 1.0, i2 ratio 200/190 ~ 1.0526
+        assert profiles["a"].tolist() == [0.5, 0.5, 1.0, 1.0, 1.0]
+        # b: i1 ratio 1.1, i2 ratio 1.0
+        assert profiles["b"].tolist() == [0.5, 0.5, 1.0, 1.0, 1.0]
+
+    def test_dominant_algorithm_is_all_ones(self):
+        cuts = {
+            "best": {"i1": 10.0, "i2": 10.0},
+            "worst": {"i1": 30.0, "i2": 30.0},
+        }
+        taus, profiles = performance_profile(cuts, taus=TAUS)
+        assert profiles["best"].tolist() == [1.0] * len(TAUS)
+        assert profiles["worst"].tolist() == [0.0] * len(TAUS)
+
+    def test_missing_instance_never_within_tau(self):
+        """Failed runs count against the algorithm (Mt-Metis semantics)."""
+        cuts = {"a": {"i1": 10.0, "i2": 12.0}, "b": {"i1": 10.0}}
+        taus, profiles = performance_profile(cuts, taus=TAUS)
+        assert profiles["b"][-1] == 0.5  # i2 missing: capped at 1/2 forever
+        assert profiles["a"][-1] == 1.0
+
+    def test_negative_cut_treated_as_failure(self):
+        cuts = {"a": {"i1": 10.0}, "b": {"i1": -1.0}}
+        taus, profiles = performance_profile(cuts, taus=TAUS)
+        assert profiles["b"].tolist() == [0.0] * len(TAUS)
+        assert profiles["a"].tolist() == [1.0] * len(TAUS)
+
+    def test_zero_best_ties(self):
+        """cut == 0 on both sides is a tie at tau = 1, not a crash."""
+        cuts = {"a": {"i1": 0.0}, "b": {"i1": 0.0}}
+        taus, profiles = performance_profile(cuts, taus=TAUS)
+        assert profiles["a"][0] == 1.0 and profiles["b"][0] == 1.0
+
+    def test_default_taus(self):
+        taus, _ = performance_profile({"a": {"i": 1.0}})
+        assert taus[0] == 1.0 and taus[-1] == 2.0 and len(taus) == 101
+
+
+class TestProfileSummaryRoundTrip:
+    def test_summary_resolves_profile_points(self):
+        """profile_summary reads back exactly what the profile says."""
+        cuts = {
+            "a": {"i1": 100.0, "i2": 200.0, "i3": 300.0},
+            "b": {"i1": 104.0, "i2": 260.0, "i3": 290.0},
+        }
+        taus, profiles = performance_profile(cuts)
+        summary = profile_summary(taus, profiles)
+        for alg in cuts:
+            assert summary[alg]["best"] == profiles[alg][0]
+            idx = np.searchsorted(taus, 1.05)
+            assert summary[alg]["within_1.05"] == profiles[alg][idx]
+            assert 0.0 <= summary[alg]["auc"] <= 1.0
+        # a is best on i1 (100 vs 104 -> b within 1.05) and i2; b best on i3
+        assert summary["a"]["best"] == pytest.approx(2 / 3)
+        assert summary["b"]["best"] == pytest.approx(1 / 3)
+        assert summary["b"]["within_1.05"] == pytest.approx(2 / 3)
+
+    def test_auc_orders_algorithms(self):
+        cuts = {
+            "good": {"i1": 10.0, "i2": 10.0},
+            "bad": {"i1": 19.0, "i2": 19.0},
+        }
+        taus, profiles = performance_profile(cuts)
+        summary = profile_summary(taus, profiles)
+        assert summary["good"]["auc"] > summary["bad"]["auc"]
+
+
+class TestRenderProfile:
+    def test_contains_algorithms_and_taus(self):
+        cuts = {"alpha": {"i": 1.0}, "beta": {"i": 2.0}}
+        taus, profiles = performance_profile(cuts)
+        out = render_profile(taus, profiles)
+        assert "alpha" in out and "beta" in out
+        assert out.splitlines()[0].startswith("tau:")
+
+    def test_values_render_resolved(self):
+        cuts = {"a": {"i1": 1.0, "i2": 1.0}}
+        taus, profiles = performance_profile(cuts)
+        out = render_profile(taus, profiles)
+        assert "1.00" in out  # the always-best algorithm renders 1.00

@@ -110,3 +110,114 @@ class TestPortfolioAndMetricsFlags:
         rc = main(["partition", str(path), "-k", "4", "--metrics"])
         assert rc == 0
         assert "comm" in capsys.readouterr().out.replace("cv=", "comm")
+
+
+class TestBenchCommands:
+    """The regression observatory CLI: record / baseline / compare / trend."""
+
+    @pytest.fixture(scope="class")
+    def recorded_db(self, tmp_path_factory):
+        """One real smoke run recorded into a fresh run DB (shared: slow)."""
+        db = tmp_path_factory.mktemp("bench") / "runs.jsonl"
+        rc = main(
+            [
+                "bench", "record", "--suite", "smoke",
+                "--instances", "fem-grid", "--seeds", "0", "1",
+                "--label", "base", "--db", str(db),
+            ]
+        )
+        assert rc == 0
+        return db
+
+    def test_record_appends_stamped_records(self, recorded_db, capsys):
+        from repro.obs.regress.rundb import RunDB
+
+        recs = RunDB(recorded_db).load()
+        assert len(recs) == 2
+        assert all(r["kind"] == "partition" for r in recs)
+        assert all(r["label"] == "base" for r in recs)
+        assert all(r["obs"] is not None for r in recs)  # obs rides along
+        assert recs[0]["config"]["name"] == "terapart"
+
+    def test_baseline_compare_roundtrip_neutral(self, recorded_db, capsys):
+        base_out = recorded_db.parent / "smoke.json"
+        rc = main(
+            [
+                "bench", "baseline", "--name", "cli-smoke",
+                "--db", str(recorded_db), "--label", "base",
+                "--out", str(base_out),
+            ]
+        )
+        assert rc == 0
+        assert "1 groups" in capsys.readouterr().out
+
+        traj = recorded_db.parent / "traj.json"
+        rc = main(
+            [
+                "bench", "compare", "--baseline", str(base_out),
+                "--db", str(recorded_db), "--label", "base",
+                "--gate", "--trajectory", str(traj),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perf gate: passed" in out
+        assert "neutral" in out
+        import json
+
+        doc = json.loads(traj.read_text())
+        assert doc["kind"] == "trajectory" and doc["regressed"] is False
+
+    def test_compare_gate_fails_on_synthetic_regression(self, tmp_path, capsys):
+        """No real runs needed: fabricate a DB + baseline, inflate wall."""
+        from repro.bench.harness import RunRecord
+        from repro.obs.regress.compare import capture_baseline
+        from repro.obs.regress.rundb import RunDB, make_record
+
+        def rec(seed, wall):
+            return make_record(
+                RunRecord(
+                    "terapart", "fem-grid", 4, seed,
+                    cut=100, balanced=True, imbalance=0.01,
+                    wall_seconds=wall, modeled_seconds=wall, peak_bytes=1000,
+                ),
+                bench="smoke", label="cand", env={},
+            )
+
+        capture_baseline(
+            [rec(s, 1.0) for s in range(3)], "synthetic"
+        ).save(tmp_path / "base.json")
+        db = RunDB(tmp_path / "runs.jsonl")
+        for s in range(3):
+            db.append(rec(s, 2.0))  # 2x wall: beyond the 25% band
+        rc = main(
+            [
+                "bench", "compare", "--baseline", str(tmp_path / "base.json"),
+                "--db", str(tmp_path / "runs.jsonl"), "--label", "cand",
+                "--gate", "--trajectory", str(tmp_path / "t.json"),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "perf gate: FAILED" in out
+        assert "regressed" in out
+
+    def test_trend_renders_sparklines(self, recorded_db, capsys):
+        rc = main(["bench", "trend", "--db", str(recorded_db), "--metric", "cut"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "terapart|fem-grid|4" in out
+        assert "last=" in out
+
+    def test_trend_empty_db_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "trend", "--db", str(tmp_path / "none.jsonl")])
+
+    def test_record_unknown_instance_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "bench", "record", "--instances", "no-such-graph",
+                    "--db", str(tmp_path / "db.jsonl"),
+                ]
+            )

@@ -1,0 +1,197 @@
+"""Tests for baselines and bootstrap classification (obs/regress/compare)."""
+
+import pytest
+
+from repro.obs.regress.compare import (
+    BASELINE_SCHEMA,
+    Baseline,
+    CompareThresholds,
+    capture_baseline,
+    compare,
+)
+from repro.obs.regress.rundb import RUNDB_SCHEMA
+
+
+def _rec(
+    alg="terapart",
+    inst="fem-grid",
+    k=4,
+    seed=0,
+    cut=100.0,
+    wall=1.0,
+    peak=1000.0,
+    balanced=True,
+    imbalance=0.01,
+    obs=None,
+):
+    return {
+        "schema": RUNDB_SCHEMA,
+        "kind": "partition",
+        "bench": "smoke",
+        "label": None,
+        "recorded_unix": None,
+        "env": {},
+        "config": None,
+        "run": {
+            "algorithm": alg,
+            "instance": inst,
+            "k": k,
+            "seed": seed,
+            "cut": cut,
+            "balanced": balanced,
+            "imbalance": imbalance,
+            "wall_seconds": wall,
+            "modeled_seconds": wall,
+            "peak_bytes": peak,
+            "extra": {},
+        },
+        "obs": obs,
+    }
+
+
+def _matrix(scale_cut=1.0, scale_wall=1.0, scale_peak=1.0, **kw):
+    """3 seeds x 2 instances with mild seed-to-seed spread."""
+    recs = []
+    for inst, base_cut in (("fem-grid", 100.0), ("web-small", 400.0)):
+        for seed, jitter in ((0, 1.0), (1, 1.02), (2, 0.98)):
+            recs.append(
+                _rec(
+                    inst=inst,
+                    seed=seed,
+                    cut=base_cut * jitter * scale_cut,
+                    wall=1.0 * jitter * scale_wall,
+                    peak=1000.0 * scale_peak,
+                    **kw,
+                )
+            )
+    return recs
+
+
+THR = CompareThresholds(bootstrap_samples=300)
+
+
+class TestBaseline:
+    def test_capture_groups(self):
+        base = capture_baseline(_matrix(), "b", timestamp=1.0)
+        assert set(base.groups) == {
+            "terapart|fem-grid|4",
+            "terapart|web-small|4",
+        }
+        g = base.groups["terapart|fem-grid|4"]
+        assert g["seeds"] == [0, 1, 2]
+        assert g["metrics"]["cut"] == [100.0, 102.0, 98.0]
+        assert g["balanced"] == [True, True, True]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        base = capture_baseline(_matrix(), "b", env={"python": "3"})
+        base.save(tmp_path / "b.json")
+        loaded = Baseline.load(tmp_path / "b.json")
+        assert loaded.name == "b"
+        assert loaded.env == {"python": "3"}
+        assert loaded.groups == base.groups
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(ValueError, match="newer"):
+            Baseline.from_dict({"schema": BASELINE_SCHEMA + 1})
+
+    def test_non_partition_records_ignored(self):
+        recs = _matrix() + [{"kind": "microbench", "run": {"x": 1}}]
+        base = capture_baseline(recs, "b")
+        assert len(base.groups) == 2
+
+
+class TestClassification:
+    def test_identical_runs_are_neutral(self):
+        base = capture_baseline(_matrix(), "b")
+        report = compare(base, _matrix(), thresholds=THR)
+        assert not report.regressed
+        for v in report.verdicts:
+            assert v.classification == "neutral", v
+            assert v.ratio == pytest.approx(1.0)
+            assert v.ci_low <= 1.0 <= v.ci_high
+
+    def test_regression_flagged(self):
+        base = capture_baseline(_matrix(), "b")
+        cand = _matrix(scale_wall=2.0, scale_peak=1.5)
+        report = compare(base, cand, thresholds=THR)
+        assert set(report.regressed_metrics) == {"wall_seconds", "peak_bytes"}
+        wall = report.verdict_for("wall_seconds")
+        assert wall.ratio == pytest.approx(2.0, rel=0.01)
+        assert wall.ci_low > 1.25
+        assert report.verdict_for("cut").classification == "neutral"
+
+    def test_improvement_flagged(self):
+        base = capture_baseline(_matrix(), "b")
+        report = compare(base, _matrix(scale_peak=0.5), thresholds=THR)
+        assert report.verdict_for("peak_bytes").classification == "improved"
+        assert not report.regressed
+
+    def test_noise_within_band_is_neutral(self):
+        base = capture_baseline(_matrix(), "b")
+        # +1% cut sits inside the 2% band
+        report = compare(base, _matrix(scale_cut=1.01), thresholds=THR)
+        assert report.verdict_for("cut").classification == "neutral"
+
+    def test_bootstrap_deterministic(self):
+        base = capture_baseline(_matrix(), "b")
+        cand = _matrix(scale_wall=1.3)
+        a = compare(base, cand, thresholds=THR)
+        b = compare(base, cand, thresholds=THR)
+        for va, vb in zip(a.verdicts, b.verdicts):
+            assert (va.ci_low, va.ci_high) == (vb.ci_low, vb.ci_high)
+
+    def test_missing_and_extra_keys(self):
+        base = capture_baseline(_matrix(), "b")
+        cand = [r for r in _matrix() if r["run"]["instance"] == "fem-grid"]
+        report = compare(base, cand, thresholds=THR)
+        assert report.keys_compared == ["terapart|fem-grid|4"]
+        assert report.keys_missing == ["terapart|web-small|4"]
+
+
+class TestZeroCuts:
+    def test_zero_to_zero_counts_as_ratio_one(self):
+        base = capture_baseline([_rec(cut=0.0, seed=s) for s in range(3)], "b")
+        cand = [_rec(cut=0.0, seed=s) for s in range(3)]
+        report = compare(base, cand, metrics=("cut",), thresholds=THR)
+        v = report.verdict_for("cut")
+        assert v.classification == "neutral"
+        assert v.per_key["terapart|fem-grid|4"] == 1.0
+
+    def test_lost_zero_baseline_forces_regressed(self):
+        """A vanished perfect cut can't hide behind the geometric mean."""
+        base = capture_baseline([_rec(cut=0.0, seed=s) for s in range(3)], "b")
+        cand = [_rec(cut=7.0, seed=s) for s in range(3)]
+        report = compare(base, cand, metrics=("cut",), thresholds=THR)
+        v = report.verdict_for("cut")
+        assert v.classification == "regressed"
+        assert v.infinite_pairs == 1
+
+    def test_candidate_reaching_zero_is_counted_dropped(self):
+        base = capture_baseline(_matrix(), "b")
+        cand = _matrix()
+        for r in cand:
+            if r["run"]["instance"] == "fem-grid":
+                r["run"]["cut"] = 0.0
+        report = compare(base, cand, metrics=("cut",), thresholds=THR)
+        v = report.verdict_for("cut")
+        assert v.dropped_pairs == 1
+        assert v.n_keys == 2  # the dropped pair is still surfaced per-key
+
+
+class TestImbalanceHardGate:
+    def test_unbalanced_candidate_fails_gate(self):
+        base = capture_baseline(_matrix(), "b")
+        cand = _matrix()
+        cand[0]["run"]["balanced"] = False
+        cand[0]["run"]["imbalance"] = 0.09
+        report = compare(base, cand, thresholds=THR)
+        assert not report.gate.passed
+        assert report.regressed  # even though every metric is neutral
+        viol = report.gate.violations[0]
+        assert viol["key"] == "terapart|fem-grid|4"
+        assert viol["imbalance"] == 0.09
+
+    def test_balanced_candidate_passes_gate(self):
+        base = capture_baseline(_matrix(), "b")
+        report = compare(base, _matrix(), thresholds=THR)
+        assert report.gate.passed

@@ -1,0 +1,199 @@
+"""Tests for the regression observatory's run database (obs/regress/rundb)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import RunRecord
+from repro.core import config as C
+from repro.core.config import config_digest
+from repro.obs.regress.rundb import (
+    RUNDB_SCHEMA,
+    RunDB,
+    config_stamp,
+    default_rundb,
+    environment_stamp,
+    latest_per_key,
+    make_microbench_record,
+    make_record,
+    migrate_record,
+    run_key,
+)
+
+
+def _rr(seed=0, cut=100, wall=1.0, peak=1000, obs=None, **kw):
+    extra = {"num_levels": 3}
+    if obs is not None:
+        extra["obs"] = obs
+    defaults = dict(
+        algorithm="terapart",
+        instance="fem-grid",
+        k=4,
+        seed=seed,
+        cut=cut,
+        balanced=True,
+        imbalance=0.01,
+        wall_seconds=wall,
+        modeled_seconds=wall * 0.9,
+        peak_bytes=peak,
+        extra=extra,
+    )
+    defaults.update(kw)
+    return RunRecord(**defaults)
+
+
+class TestRecordBuilders:
+    def test_make_record_shape(self):
+        rec = make_record(
+            _rr(obs={"phases": []}),
+            bench="smoke",
+            label="base",
+            config=C.terapart(),
+            env={"python": "x"},
+            timestamp=123.0,
+        )
+        assert rec["schema"] == RUNDB_SCHEMA
+        assert rec["kind"] == "partition"
+        assert rec["bench"] == "smoke"
+        assert rec["label"] == "base"
+        assert rec["recorded_unix"] == 123.0
+        assert rec["run"]["cut"] == 100 and rec["run"]["seed"] == 0
+        # obs moves out of extra into its own section
+        assert rec["obs"] == {"phases": []}
+        assert rec["run"]["extra"] == {"num_levels": 3}
+        assert rec["config"]["name"] == "terapart"
+
+    def test_microbench_record(self):
+        rec = make_microbench_record(
+            "decode_hotpath", {"bulk_ns_per_edge": 96.0}, env={}, timestamp=1.0
+        )
+        assert rec["kind"] == "microbench"
+        assert rec["run"]["bulk_ns_per_edge"] == 96.0
+        assert rec["obs"] is None
+
+
+class TestConfigStamp:
+    def test_digest_is_seed_independent(self):
+        a = C.terapart(seed=0)
+        b = C.terapart(seed=99)
+        assert config_digest(a) == config_digest(b)
+
+    def test_digest_changes_with_knobs(self):
+        a = C.terapart()
+        b = C.terapart().with_(compress_input=False)
+        c = C.terapart_fm()
+        assert config_digest(a) != config_digest(b)
+        assert config_digest(a) != config_digest(c)
+
+    def test_stamp_has_name_and_digest(self):
+        st = config_stamp(C.terapart())
+        assert st["name"] == "terapart"
+        assert len(st["digest"]) == 16
+
+
+class TestEnvironmentStamp:
+    def test_stamp_fields(self):
+        env = environment_stamp()
+        assert set(env) >= {"git_sha", "python", "numpy", "platform"}
+        assert env["python"].count(".") >= 1
+
+
+class TestRunDB:
+    def test_append_load_roundtrip(self, tmp_path):
+        db = RunDB(tmp_path / "runs.jsonl")
+        db.append(make_record(_rr(seed=0), bench="smoke", env={}))
+        db.append(make_record(_rr(seed=1), bench="smoke", env={}))
+        recs = db.load()
+        assert [r["run"]["seed"] for r in recs] == [0, 1]
+
+    def test_append_only_one_line_per_record(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        db = RunDB(path)
+        db.append(make_record(_rr(), bench="smoke", env={}))
+        first = path.read_text()
+        db.append(make_record(_rr(seed=1), bench="smoke", env={}))
+        # history is never rewritten: the first line is byte-identical
+        assert path.read_text().startswith(first)
+        assert path.read_text().count("\n") == 2
+
+    def test_load_missing_file(self, tmp_path):
+        assert RunDB(tmp_path / "nope.jsonl").load() == []
+
+    def test_query_filters(self, tmp_path):
+        db = RunDB(tmp_path / "runs.jsonl")
+        db.append(make_record(_rr(), bench="smoke", label="a", env={}))
+        db.append(
+            make_record(
+                _rr(instance="web-small"), bench="smoke", label="b", env={}
+            )
+        )
+        db.append(make_microbench_record("decode_hotpath", {"x": 1}, env={}))
+        assert len(db.query(kind="partition")) == 2
+        assert len(db.query(kind="microbench")) == 1
+        assert len(db.query(label="a")) == 1
+        assert db.query(instance="web-small")[0]["label"] == "b"
+        assert len(db.query(algorithm="terapart", k=4)) == 2
+        assert len(db.query(k=8)) == 0
+
+    def test_latest_per_key(self, tmp_path):
+        db = RunDB(tmp_path / "runs.jsonl")
+        db.append(make_record(_rr(cut=100), bench="s", env={}))
+        db.append(make_record(_rr(cut=90), bench="s", env={}))
+        latest = latest_per_key(db.load(), run_key)
+        assert len(latest) == 1
+        assert latest[0]["run"]["cut"] == 90
+
+
+class TestMigration:
+    def test_legacy_flat_record_migrates(self):
+        legacy = {
+            "instance": "weblike(n=10000, d=10, seed=42)",
+            "csr_ns_per_edge": 9.8,
+            "bulk_vs_scalar_speedup": 8.2,
+        }
+        rec = migrate_record(legacy)
+        assert rec["schema"] == RUNDB_SCHEMA
+        assert rec["kind"] == "microbench"
+        assert rec["bench"] == "decode_hotpath"
+        assert rec["run"]["bulk_vs_scalar_speedup"] == 8.2
+        assert rec["env"]["git_sha"] is None
+
+    def test_current_schema_fills_defaults(self):
+        rec = migrate_record({"schema": RUNDB_SCHEMA, "run": {"cut": 5}})
+        assert rec["kind"] == "partition"
+        assert rec["label"] is None
+        assert rec["obs"] is None
+
+    def test_future_schema_rejected(self):
+        with pytest.raises(ValueError, match="newer"):
+            migrate_record({"schema": RUNDB_SCHEMA + 1})
+
+    def test_load_migrates_legacy_lines(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text(json.dumps({"csr_ns_per_edge": 9.8}) + "\n")
+        recs = RunDB(path).load()
+        assert recs[0]["schema"] == RUNDB_SCHEMA
+        assert recs[0]["kind"] == "microbench"
+
+    def test_repo_bench_decode_converted(self):
+        """The committed BENCH_decode.json is in the trajectory schema."""
+        from pathlib import Path
+
+        doc = json.loads(
+            (Path(__file__).parent.parent / "BENCH_decode.json").read_text()
+        )
+        assert doc["schema"] == RUNDB_SCHEMA
+        assert doc["kind"] == "trajectory"
+        assert all(r["schema"] == RUNDB_SCHEMA for r in doc["records"])
+        assert all(r["kind"] == "microbench" for r in doc["records"])
+
+
+class TestDefaultRunDB:
+    def test_unset_env_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNDB", raising=False)
+        assert default_rundb() is None
+
+    def test_env_points_at_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNDB", str(tmp_path / "db.jsonl"))
+        db = default_rundb()
+        assert db is not None and db.path == tmp_path / "db.jsonl"
