@@ -1,0 +1,134 @@
+"""Pass 2: untracked allocations (UA001).
+
+The repo's memory claims rest on the :class:`~repro.memory.tracker
+.MemoryTracker` ledger seeing every input-sized buffer (DESIGN.md section
+2).  This pass flags raw ``np.empty`` / ``np.zeros`` / ``np.ones`` /
+``np.full`` / ``bytearray`` calls in the accounting-critical subpackages
+(``graph``, ``core``, ``parallel``, ``dist``) that show no evidence of
+flowing into a ledger registration.
+
+Evidence is judged at function granularity -- precise data-flow through
+numpy aliasing is not tractable here, and function scope matches how the
+code is actually organized (the function that allocates either registers
+the buffer or hands it to a ``tracked_*`` constructor).  A function counts
+as *covered* when it
+
+* calls a ledger method (``.alloc`` / ``.touch`` / ``.resize`` /
+  ``.free``), or
+* calls a tracked constructor (``tracked_*`` from
+  :mod:`repro.memory.scratch`) or a charge helper (``_charge*``).
+
+Constant-size allocations of at most :data:`SMALL_LIMIT` elements are
+exempt: fixed O(1) scratch (an 8-slot per-thread buffer) is below the
+ledger's resolution and tracking it would be noise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Module, const_int
+
+PASS_ID = "untracked-alloc"
+
+#: allocating calls the ledger must account for
+ALLOC_FUNCS = ("empty", "zeros", "ones", "full")
+
+#: subpackages where the memory model must be complete; modules outside the
+#: installed ``repro`` package (e.g. test fixtures) are always checked
+SUBPACKAGES = ("graph", "core", "parallel", "dist")
+
+#: constant element counts at or below this are O(1) scratch, exempt
+SMALL_LIMIT = 64
+
+_LEDGER_METHODS = ("alloc", "touch", "resize", "free")
+
+#: modules that *implement* the ledger / tracked constructors
+EXCLUDE = (
+    "repro/memory/",
+    "repro/analysis/",
+)
+
+
+def _in_scope(rel: str) -> bool:
+    if not rel.startswith("repro/"):
+        return True  # fixtures and scripts: lint everything handed to us
+    return any(rel.startswith(f"repro/{p}/") for p in SUBPACKAGES)
+
+
+def _const_elements(node: ast.Call) -> int | None:
+    """Total element count when the shape argument is fully constant."""
+    if not node.args:
+        return None
+    shape = node.args[0]
+    if isinstance(shape, ast.Constant):
+        v = const_int(shape)
+        return v if v is not None else None
+    if isinstance(shape, (ast.Tuple, ast.List)):
+        total = 1
+        for elt in shape.elts:
+            v = const_int(elt)
+            if v is None:
+                return None
+            total *= v
+        return total
+    return None
+
+
+def _scope_covered(mod: Module, fn: ast.AST | None) -> bool:
+    root = fn if fn is not None else mod.tree
+    for node in ast.walk(root):
+        if not isinstance(node, ast.Call):
+            continue
+        f = node.func
+        if isinstance(f, ast.Attribute) and f.attr in _LEDGER_METHODS:
+            return True
+        name = (
+            f.id
+            if isinstance(f, ast.Name)
+            else f.attr
+            if isinstance(f, ast.Attribute)
+            else None
+        )
+        if name and (name.startswith("tracked_") or name.startswith("_charge")):
+            return True
+    return False
+
+
+def run(mod: Module) -> list[Finding]:
+    if any(mod.rel.startswith(p) for p in EXCLUDE) or not _in_scope(mod.rel):
+        return []
+    findings: list[Finding] = []
+    covered_cache: dict[ast.AST | None, bool] = {}
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        alloc = mod.is_np_call(node, ALLOC_FUNCS)
+        if alloc is None:
+            if isinstance(node.func, ast.Name) and node.func.id == "bytearray":
+                alloc = "bytearray"
+            else:
+                continue
+        elems = _const_elements(node)
+        if elems is not None and elems <= SMALL_LIMIT:
+            continue
+        fn = mod.enclosing_function(node)
+        if fn not in covered_cache:
+            covered_cache[fn] = _scope_covered(mod, fn)
+        if covered_cache[fn]:
+            continue
+        scope = mod.qualname(node)
+        findings.append(
+            Finding(
+                PASS_ID,
+                "UA001",
+                "warning",
+                mod.rel,
+                node.lineno,
+                f"{alloc}() in {scope} is never registered with the "
+                "memory ledger; use repro.memory.tracked_* or charge it "
+                "via MemoryTracker.alloc",
+                subject=f"{scope}:{alloc}",
+            )
+        )
+    return findings

@@ -1,0 +1,73 @@
+"""Suppression baseline: accepted findings committed alongside the code.
+
+``repro lint --gate`` must be adoptable on a codebase with pre-existing
+findings without drowning CI in noise, so the gate compares against a
+committed baseline (``analysis/baseline.json``) and fails only on *new*
+findings.  The baseline stores line-insensitive fingerprints
+(``pass|file|code|subject``, see :func:`~repro.analysis.core.fingerprint`)
+with occurrence counts: moving code around does not churn it, but adding a
+second undeclared access of the same shape does trip the gate.
+
+Workflow:
+
+* a finding is *fixed* -> regenerate with ``repro lint --update-baseline``
+  (the stale entry disappears; the gate also reports stale entries so
+  fixed findings cannot silently linger);
+* a finding is *accepted* -> either add an inline
+  ``# repro-lint: ignore[...]`` with a justification (preferred, visible at
+  the site) or record it here via ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.core import Finding, LintReport, fingerprint
+
+VERSION = 1
+
+
+def load(path: Path) -> dict[str, int]:
+    """Fingerprint -> accepted count; empty when no baseline exists."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    if data.get("version") != VERSION:
+        raise ValueError(
+            f"baseline {path} has version {data.get('version')!r}; "
+            f"this tool writes version {VERSION}"
+        )
+    return {str(k): int(v) for k, v in data.get("findings", {}).items()}
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    counts = Counter(fingerprint(f) for f in findings)
+    payload = {
+        "version": VERSION,
+        "comment": (
+            "Accepted repro-lint findings. Regenerate with "
+            "`repro lint --update-baseline`; entries are "
+            "pass|file|code|subject fingerprints -> count."
+        ),
+        "findings": {k: counts[k] for k in sorted(counts)},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply(findings: list[Finding], accepted: dict[str, int]) -> LintReport:
+    """Split findings into baselined and new; record stale entries."""
+    report = LintReport(findings=list(findings))
+    budget = dict(accepted)
+    for f in findings:
+        fp = fingerprint(f)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            report.baselined += 1
+        else:
+            report.new.append(f)
+    seen = {fingerprint(f) for f in findings}
+    report.stale_baseline = sorted(fp for fp in accepted if fp not in seen)
+    return report

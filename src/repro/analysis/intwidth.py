@@ -1,0 +1,227 @@
+"""Pass 3: integer-width safety (IW001-IW002).
+
+Graph IDs in this codebase routinely exceed 32 bits (the paper's graphs
+have up to 129 billion edges), so a silent narrowing -- storing int64
+vertex IDs into an int32 buffer, or an unguarded ``astype`` -- corrupts
+high IDs with no exception.  This pass runs a small dtype-inference over
+each function and reports:
+
+* ``IW001`` (warning) -- a subscript store ``narrow[ix] = wide`` where the
+  destination's inferred integer width is smaller than the source's.
+* ``IW002`` (warning) -- ``wide.astype(<narrower int>)`` with no guard.
+
+Both are *warnings*: narrowing is legitimate when a bound is established
+first (compression does it deliberately).  A finding is suppressed when
+the function shows a guard before the site -- an ``assert`` statement or
+an ``np.iinfo`` bound check -- or carries an explicit
+``# repro-lint: ignore[int-width]``.
+
+The inference is deliberately linear and local: it follows direct
+constructor calls (``np.empty(n, dtype=np.int32)``, ``tracked_zeros``,
+``np.arange``, ``astype``) and gives up on anything else.  No finding is
+ever produced for a name whose dtype is unknown.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, Module
+
+PASS_ID = "int-width"
+
+#: integer dtype name -> bit width
+WIDTHS = {
+    "int8": 8,
+    "uint8": 8,
+    "int16": 16,
+    "uint16": 16,
+    "int32": 32,
+    "uint32": 32,
+    "int64": 64,
+    "uint64": 64,
+    "intp": 64,
+    "uintp": 64,
+    "int_": 64,
+}
+
+_CTOR_FUNCS = (
+    "empty",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "array",
+    "asarray",
+    "full_like",
+    "zeros_like",
+    "empty_like",
+)
+
+EXCLUDE = ("repro/analysis/",)
+
+
+def _dtype_width(mod: Module, node: ast.AST | None) -> int | None:
+    """Bit width of a dtype expression (``np.int32``, ``"int32"``)."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id in mod.np_aliases:
+            return WIDTHS.get(node.attr)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return WIDTHS.get(node.value)
+    return None
+
+
+def _dtype_arg(call: ast.Call, positional: int) -> ast.AST | None:
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    if len(call.args) > positional:
+        return call.args[positional]
+    return None
+
+
+def _infer_call_width(mod: Module, call: ast.Call) -> int | None:
+    """Width of an array produced by a constructor / astype call."""
+    f = call.func
+    if isinstance(f, ast.Attribute) and f.attr == "astype" and call.args:
+        return _dtype_width(mod, call.args[0])
+    name = mod.is_np_call(call, _CTOR_FUNCS)
+    if name is None and isinstance(f, ast.Name) and f.id.startswith("tracked_"):
+        name = f.id  # repro.memory.scratch constructors: dtype is arg 1
+        return _dtype_width(mod, _dtype_arg(call, 1)) or 64  # int64 default
+    if name is None:
+        return None
+    # positional dtype slot per constructor signature
+    pos = {"full": 2, "full_like": 2, "arange": 3, "array": 1, "asarray": 1}
+    return _dtype_width(mod, _dtype_arg(call, pos.get(name, 1)))
+
+
+def _expr_width(mod: Module, node: ast.AST, env: dict[str, int]) -> int | None:
+    """Inferred integer width of a value expression, None if unknown."""
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, ast.Call):
+        return _infer_call_width(mod, node)
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+        return env.get(node.value.id)  # a[ix] has a's element width
+    if isinstance(node, ast.BinOp):
+        lw = _expr_width(mod, node.left, env)
+        rw = _expr_width(mod, node.right, env)
+        if lw is not None and rw is not None:
+            return max(lw, rw)
+        return lw if rw is None else rw
+    return None
+
+
+def _guard_lines(fn: ast.AST) -> list[int]:
+    """Lines of guards (asserts / np.iinfo bound checks) inside ``fn``."""
+    out = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assert):
+            out.append(node.lineno)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "iinfo"
+        ):
+            out.append(node.lineno)
+    return out
+
+
+def _check_function(mod: Module, fn: ast.AST, findings: list[Finding]) -> None:
+    env: dict[str, int] = {}
+    guards = _guard_lines(fn)
+
+    def guarded(line: int) -> bool:
+        return any(g < line for g in guards)
+
+    body = [
+        n
+        for n in ast.walk(fn)
+        if isinstance(
+            n, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return)
+        )
+        and mod.enclosing_function(n) is fn  # nested defs get their own run
+    ]
+    body.sort(key=lambda n: n.lineno)
+    for stmt in body:
+        scope = mod.qualname(stmt)
+        # IW002: narrowing astype anywhere in the statement
+        for call in ast.walk(stmt):
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "astype"
+                and call.args
+            ):
+                continue
+            target_w = _dtype_width(mod, call.args[0])
+            source_w = _expr_width(mod, call.func.value, env)
+            if (
+                target_w is not None
+                and source_w is not None
+                and target_w < source_w
+                and not guarded(call.lineno)
+            ):
+                findings.append(
+                    Finding(
+                        PASS_ID,
+                        "IW002",
+                        "warning",
+                        mod.rel,
+                        call.lineno,
+                        f"unguarded cast int{source_w} -> int{target_w} in "
+                        f"{scope}; assert the bound (np.iinfo) first or "
+                        "suppress with a justification",
+                        subject=f"{scope}:astype{target_w}",
+                    )
+                )
+
+        if not isinstance(stmt, ast.Assign):
+            continue
+        # IW001: narrowing subscript store
+        for t in stmt.targets:
+            if not (
+                isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name)
+            ):
+                continue
+            dst_w = env.get(t.value.id)
+            src_w = _expr_width(mod, stmt.value, env)
+            if (
+                dst_w is not None
+                and src_w is not None
+                and dst_w < src_w
+                and not guarded(stmt.lineno)
+            ):
+                findings.append(
+                    Finding(
+                        PASS_ID,
+                        "IW001",
+                        "warning",
+                        mod.rel,
+                        stmt.lineno,
+                        f"store of int{src_w} values into int{dst_w} array "
+                        f"{t.value.id!r} in {scope} can truncate high IDs",
+                        subject=f"{scope}:{t.value.id}",
+                    )
+                )
+        # update the env from simple name assignments
+        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            w = _expr_width(mod, stmt.value, env)
+            if w is not None:
+                env[name] = w
+            else:
+                env.pop(name, None)  # dtype no longer known
+
+
+def run(mod: Module) -> list[Finding]:
+    if any(mod.rel.startswith(p) for p in EXCLUDE):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(mod.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_function(mod, node, findings)
+    return findings

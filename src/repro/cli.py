@@ -68,8 +68,11 @@ def cmd_partition(args: argparse.Namespace) -> int:
             )
         )
     want_obs = bool(args.trace_out or args.metrics_json)
-    if want_obs:
-        cfg = cfg.with_(obs=C.ObsConfig(enabled=True))
+    if want_obs or args.selfcheck:
+        # selfcheck runs also charge transient decode scratch to the ledger
+        cfg = cfg.with_(
+            obs=C.ObsConfig(enabled=want_obs, track_scratch=args.selfcheck)
+        )
     t0 = time.perf_counter()
     if args.seeds > 1:
         from repro.core.portfolio import partition_portfolio
@@ -162,6 +165,42 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"interval edge fraction: {st.interval_edge_fraction:.1%}")
     print(f"isolated vertices: {st.isolated_vertices}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro import analysis
+    from repro.analysis import baseline as baseline_mod
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        # default target: the installed repro package itself
+        paths = [Path(repro.__file__).parent]
+    passes = args.passes.split(",") if args.passes else None
+    baseline_path = Path(args.baseline)
+
+    if args.update_baseline:
+        # regenerate from scratch: suppressions still apply, baseline doesn't
+        report = analysis.lint_paths(paths, baseline=None, passes=passes)
+        baseline_mod.save(baseline_path, report.findings)
+        print(
+            f"baseline: {len(report.findings)} findings accepted -> "
+            f"{baseline_path}"
+        )
+        return 0
+
+    report = analysis.lint_paths(paths, baseline=baseline_path, passes=passes)
+    print(analysis.render_text(report, gate=args.gate))
+    if args.json:
+        analysis.write_json_report(report, Path(args.json))
+        print(f"report:     {args.json}")
+    if args.gate:
+        if report.new:
+            print(f"lint gate: FAILED ({len(report.new)} new findings)")
+            return 1
+        print("lint gate: passed")
+        return 0
+    return 1 if report.new else 0
 
 
 # --------------------------------------------------------------------- #
@@ -394,6 +433,40 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="print graph statistics")
     p.add_argument("graph")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST discipline checks: parallel access, tracked allocation, "
+        "integer widths, phase names (see DESIGN.md section 9)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    p.add_argument(
+        "--baseline",
+        default="analysis/baseline.json",
+        help="accepted-findings baseline (default: %(default)s)",
+    )
+    p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 only on findings not covered by the baseline",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file",
+    )
+    p.add_argument(
+        "--passes",
+        default=None,
+        help="comma-separated subset of passes (default: all): "
+        "parallel-access,untracked-alloc,int-width,phase-discipline",
+    )
+    p.add_argument("--json", default=None, help="write a JSON report here")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "bench",

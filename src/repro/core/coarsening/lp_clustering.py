@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.context import PartitionContext
 from repro.graph.access import chunk_adjacency, segment_reduce_ratings, traversal_cost
+from repro.verify.declarations import recorder_for
 
 
 def _null_tracer():
@@ -101,11 +102,12 @@ def label_propagation_clustering(
     max_degree = graph.max_degree if not two_phase else 0
     handles = _charge_rating_maps(graph, ctx, two_phase, t_bump)
     phase_name = "clustering-2p" if two_phase else "clustering-classic"
-    # verify layer: declared synchronization classes of the shared arrays.
-    # Neighbor-label loads are relaxed (LP tolerates staleness); label
-    # stores and cluster-weight updates are atomic (the paper's CAS loop)
-    # unless the test-only race injection drops the CAS.
+    # verify layer: the synchronization classes of every shared array this
+    # kernel touches live in repro.verify.declarations ("lp-clustering");
+    # the recorder refuses anything outside that declaration set, and the
+    # static `repro lint` pass cross-references the same registry.
     det = ctx.detector
+    rec = recorder_for(det, "lp-clustering")
     inject_race = ctx.config.debug.inject_lp_weight_race
     tracer = ctx.tracer
     # per-round kernel spans are opt-out (config.obs.kernel_spans)
@@ -137,130 +139,147 @@ def label_propagation_clustering(
                 active[:] = False
             moves = 0
             bumped_total = 0
-            # manual enter/exit keeps the hot loop's indentation flat; a
-            # leaked span on an exception is closed by tracer.finish()
-            round_span = round_tracer.span(f"{phase_name}-round{_round}")
-            round_span.__enter__()
-            sched = runtime.schedule(order)
-            chunk_weights = None
-            if runtime.schedule_policy == "heavy-first":
-                degs = np.asarray(graph.degrees)
-                chunk_weights = np.array(
-                    [int(degs[c].sum()) for c in sched.chunks], dtype=np.int64
-                )
-            if det is not None:
-                det.begin_region(f"{phase_name}-round{_round}")
-            for _tid, chunk in runtime.execute(
-                sched, weights=chunk_weights, phase=phase_name
-            ):
-                owner, nbrs, wgts = chunk_adjacency(graph, chunk)
-                if len(owner) == 0:
-                    continue
-                if det is not None:
-                    det.record_read("clusters", nbrs)
-                pair_owner, pair_cluster, pair_rating = segment_reduce_ratings(
-                    owner, clusters[nbrs], wgts, n
-                )
-                # nc(u): distinct neighbor clusters per chunk vertex
-                nc = np.bincount(pair_owner, minlength=len(chunk))
-                bumped_mask = nc >= t_bump
-                bumped_total += int(bumped_mask.sum())
-                # second-phase atomics: only bumped vertices' rating flushes
-                # hit the shared sparse array
-                bumped_pairs = int(nc[bumped_mask].sum()) if two_phase else 0
-
-                # record favorites (unconstrained best) for two-hop matching
-                # and pick constrained targets
-                chunk_vw = vwgt[chunk]
-                u_of_pair = chunk[pair_owner]
-                fits = (
-                    cluster_weights[pair_cluster] + chunk_vw[pair_owner]
-                    <= max_cluster_weight
-                )
-                is_current = pair_cluster == clusters[u_of_pair]
-                # rank: rating first, keep-bonus on ties, then a seeded
-                # pseudo-random jitter -- LP must break remaining ties
-                # randomly or mesh clusters snake toward extreme IDs
-                jitter = (
-                    ((pair_cluster * 0x9E3779B1) ^ (u_of_pair * 0x85EBCA6B)) >> 7
-                ) & 0x3F
-                rank = ((2 * pair_rating + is_current) << 6) | jitter
-
-                # unconstrained favorite per owner
-                ordu = np.lexsort((rank, pair_owner))
-                last = np.empty(len(ordu), dtype=bool)
-                last[-1] = True
-                last[:-1] = pair_owner[ordu][1:] != pair_owner[ordu][:-1]
-                fav_pairs = ordu[last]
-                favorites[chunk[pair_owner[fav_pairs]]] = pair_cluster[fav_pairs]
-
-                # constrained best per owner
-                ok = fits | is_current
-                if not np.any(ok):
-                    continue
-                po, pc, rk = pair_owner[ok], pair_cluster[ok], rank[ok]
-                ordc = np.lexsort((rk, po))
-                lastc = np.empty(len(ordc), dtype=bool)
-                lastc[-1] = True
-                lastc[:-1] = po[ordc][1:] != po[ordc][:-1]
-                best = ordc[lastc]
-                best_owner = po[best]
-                best_cluster = pc[best]
-
-                # commit sequentially (atomic weight updates in the paper);
-                # re-check the cap because earlier commits in this chunk may
-                # have filled the target cluster
-                us = chunk[best_owner]
-                cur = clusters[us]
-                want_move = best_cluster != cur
-                runtime.record(
-                    phase_name,
-                    work=float(len(owner)) * work_factor,
-                    bytes_moved=edge_bytes * len(owner),
-                    atomic_ops=bumped_pairs,
-                )
-                moved_us: list[int] = []
-                touched_weights: list[int] = []
-                for u, c in zip(
-                    us[want_move].tolist(), best_cluster[want_move].tolist()
-                ):
-                    w = int(vwgt[u])
-                    if cluster_weights[c] + w > max_cluster_weight:
-                        continue
-                    prev = int(clusters[u])
-                    cluster_weights[prev] -= w
-                    cluster_weights[c] += w
-                    clusters[u] = c
-                    moves += 1
-                    if det is not None:
-                        moved_us.append(u)
-                        touched_weights.append(prev)
-                        touched_weights.append(c)
-                    if cc.active_set:
-                        # a move invalidates the cached decision of u and
-                        # of every neighbor of u
-                        active[u] = True
-                        active[graph.neighbors(u)] = True
-                if det is not None and moved_us:
-                    det.record_atomic("clusters", moved_us)
-                    if inject_race:
-                        det.record_write("cluster-weights", touched_weights)
-                    else:
-                        det.record_atomic("cluster-weights", touched_weights)
-                if det is not None and two_phase and bumped_pairs:
-                    det.record_atomic(
-                        "shared-sparse-array",
-                        pair_cluster[bumped_mask[pair_owner]],
+            with round_tracer.span(f"{phase_name}-round{_round}"):
+                sched = runtime.schedule(order)
+                chunk_weights = None
+                if runtime.schedule_policy == "heavy-first":
+                    degs = np.asarray(graph.degrees)
+                    chunk_weights = np.array(
+                        [int(degs[c].sum()) for c in sched.chunks],
+                        dtype=np.int64,
                     )
-            if det is not None:
-                det.end_region()
-            # straggler span for classic LP: the largest neighborhood is
-            # scanned by a single thread (two-phase parallelizes it)
-            if not two_phase:
-                runtime.record(
-                    phase_name, work=0.0, span=float(max_degree), sequential=False
-                )
-            round_span.__exit__(None, None, None)
+                if det is not None:
+                    det.begin_region(f"{phase_name}-round{_round}")
+                for _tid, chunk in runtime.execute(
+                    sched, weights=chunk_weights, phase=phase_name
+                ):
+                    owner, nbrs, wgts = chunk_adjacency(graph, chunk)
+                    if len(owner) == 0:
+                        continue
+                    if rec.active:
+                        rec.read("clusters", nbrs)
+                    pair_owner, pair_cluster, pair_rating = (
+                        segment_reduce_ratings(owner, clusters[nbrs], wgts, n)
+                    )
+                    # nc(u): distinct neighbor clusters per chunk vertex
+                    nc = np.bincount(pair_owner, minlength=len(chunk))
+                    bumped_mask = nc >= t_bump
+                    bumped_total += int(bumped_mask.sum())
+                    # second-phase atomics: only bumped vertices' rating
+                    # flushes hit the shared sparse array
+                    bumped_pairs = int(nc[bumped_mask].sum()) if two_phase else 0
+
+                    # record favorites (unconstrained best) for two-hop
+                    # matching and pick constrained targets
+                    chunk_vw = vwgt[chunk]
+                    u_of_pair = chunk[pair_owner]
+                    fits = (
+                        cluster_weights[pair_cluster] + chunk_vw[pair_owner]
+                        <= max_cluster_weight
+                    )
+                    is_current = pair_cluster == clusters[u_of_pair]
+                    # rank: rating first, keep-bonus on ties, then a seeded
+                    # pseudo-random jitter -- LP must break remaining ties
+                    # randomly or mesh clusters snake toward extreme IDs
+                    jitter = (
+                        ((pair_cluster * 0x9E3779B1) ^ (u_of_pair * 0x85EBCA6B))
+                        >> 7
+                    ) & 0x3F
+                    rank = ((2 * pair_rating + is_current) << 6) | jitter
+
+                    # unconstrained favorite per owner
+                    ordu = np.lexsort((rank, pair_owner))
+                    last = np.empty(len(ordu), dtype=bool)
+                    last[-1] = True
+                    last[:-1] = pair_owner[ordu][1:] != pair_owner[ordu][:-1]
+                    fav_pairs = ordu[last]
+                    fav_us = chunk[pair_owner[fav_pairs]]
+                    favorites[fav_us] = pair_cluster[fav_pairs]
+                    if rec.active:
+                        # per-owner slots: disjoint plain stores by design
+                        rec.write("favorites", fav_us)
+
+                    # constrained best per owner
+                    ok = fits | is_current
+                    if not np.any(ok):
+                        continue
+                    po, pc, rk = pair_owner[ok], pair_cluster[ok], rank[ok]
+                    ordc = np.lexsort((rk, po))
+                    lastc = np.empty(len(ordc), dtype=bool)
+                    lastc[-1] = True
+                    lastc[:-1] = po[ordc][1:] != po[ordc][:-1]
+                    best = ordc[lastc]
+                    best_owner = po[best]
+                    best_cluster = pc[best]
+
+                    # commit sequentially (atomic weight updates in the
+                    # paper); re-check the cap because earlier commits in
+                    # this chunk may have filled the target cluster
+                    us = chunk[best_owner]
+                    cur = clusters[us]
+                    want_move = best_cluster != cur
+                    runtime.record(
+                        phase_name,
+                        work=float(len(owner)) * work_factor,
+                        bytes_moved=edge_bytes * len(owner),
+                        atomic_ops=bumped_pairs,
+                    )
+                    moved_us: list[int] = []
+                    touched_weights: list[int] = []
+                    touched_active: list[np.ndarray] = []
+                    for u, c in zip(
+                        us[want_move].tolist(), best_cluster[want_move].tolist()
+                    ):
+                        w = int(vwgt[u])
+                        if cluster_weights[c] + w > max_cluster_weight:
+                            continue
+                        prev = int(clusters[u])
+                        cluster_weights[prev] -= w
+                        cluster_weights[c] += w
+                        clusters[u] = c
+                        moves += 1
+                        if rec.active:
+                            moved_us.append(u)
+                            touched_weights.append(prev)
+                            touched_weights.append(c)
+                        if cc.active_set:
+                            # a move invalidates the cached decision of u
+                            # and of every neighbor of u (atomic-or marks)
+                            nbrs_u = graph.neighbors(u)
+                            active[u] = True
+                            active[nbrs_u] = True
+                            if rec.active:
+                                touched_active.append(np.asarray(nbrs_u))
+                                touched_active.append(
+                                    np.array([u], dtype=np.int64)
+                                )
+                    if rec.active and moved_us:
+                        rec.atomic("clusters", moved_us)
+                        if inject_race:
+                            # test-only injection drops the CAS claim so the
+                            # fuzzed schedules must catch the plain-write race
+                            # repro-lint: ignore[parallel-access]
+                            det.record_write("cluster-weights", touched_weights)
+                        else:
+                            rec.atomic("cluster-weights", touched_weights)
+                    if rec.active and touched_active:
+                        rec.atomic("active-set", np.concatenate(touched_active))
+                    if rec.active and two_phase and bumped_pairs:
+                        rec.atomic(
+                            "shared-sparse-array",
+                            pair_cluster[bumped_mask[pair_owner]],
+                        )
+                if det is not None:
+                    det.end_region()
+                # straggler span for classic LP: the largest neighborhood is
+                # scanned by a single thread (two-phase parallelizes it)
+                if not two_phase:
+                    runtime.record(
+                        phase_name,
+                        work=0.0,
+                        span=float(max_degree),
+                        sequential=False,
+                    )
             tracer.add("lp.rounds", 1)
             tracer.add("lp.moves", moves)
             tracer.add("lp.bumped", bumped_total)

@@ -30,6 +30,7 @@ from repro.core.coarsening.contraction import ContractionOutput
 from repro.graph.access import chunk_adjacency, segment_reduce_ratings, traversal_cost
 from repro.graph.csr import CSRGraph
 from repro.parallel.atomics import DualCounter
+from repro.verify.declarations import recorder_for
 
 
 def contract_one_pass(
@@ -69,7 +70,10 @@ def contract_one_pass(
     )
     pprime_aid = tracker.alloc("coarse-indptr", 8 * (n_coarse + 1), "graph")
 
+    # shared-access declarations: repro.verify.declarations, key
+    # "one-pass-contraction" -- checked here dynamically and by `repro lint`
     det = ctx.detector
+    rec = recorder_for(det, "one-pass-contraction")
     dual = DualCounter(detector=det)
     eprime_dst = np.empty(m2, dtype=np.int64)  # old cluster IDs, remapped later
     eprime_w = np.empty(m2, dtype=np.int64)
@@ -148,18 +152,16 @@ def contract_one_pass(
         new_id_of_leader[chunk_leaders] = new_ids
         new_vwgt[new_ids] = cluster_weights[chunk_leaders]
 
-        if det is not None:
+        if rec.active:
             # plain writes: the dual counter's pre-increment values must
             # make every chunk's slices disjoint -- the detector verifies it
             if len(po):
-                det.record_write(
-                    "coarse-edges", np.arange(d_prev, d_prev + len(po))
-                )
-            det.record_write(
+                rec.write("coarse-edges", np.arange(d_prev, d_prev + len(po)))
+            rec.write(
                 "coarse-indptr", np.arange(s_prev, s_prev + len(leader_idx))
             )
-            det.record_write("new-id-of-leader", chunk_leaders)
-            det.record_write("coarse-vwgt", new_ids)
+            rec.write("new-id-of-leader", chunk_leaders)
+            rec.write("coarse-vwgt", new_ids)
 
         tracker.touch(eprime_aid, 16 * dual.d)
         runtime.record(

@@ -104,6 +104,10 @@ class ObsConfig:
     # record per-round kernel spans (LP clustering rounds, FM passes); off
     # leaves only the driver-level phase spans
     kernel_spans: bool = True
+    # charge transient decode/codec scratch buffers to the memory ledger
+    # (repro.memory.scratch).  Off by default so peaks stay comparable with
+    # historical baselines; selfcheck runs turn it on for full accounting.
+    track_scratch: bool = False
 
 
 @dataclass(frozen=True)

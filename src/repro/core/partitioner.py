@@ -105,6 +105,10 @@ def partition(
         if obs_cfg.chunk_attribution:
             runtime.attach_tracer(tracer)
         graph_access.install_tracer(tracer)
+    if obs_cfg.track_scratch:
+        from repro.memory import scratch as _scratch
+
+        _scratch.install_ledger(tracker)
 
     ctx = PartitionContext(
         config=config,
@@ -125,6 +129,10 @@ def partition(
             graph_access.uninstall_tracer()
             runtime.detach_tracer()
             tracer.finish()
+        if obs_cfg.track_scratch:
+            from repro.memory import scratch as _scratch
+
+            _scratch.uninstall_ledger()
 
     wall = time.perf_counter() - t0
     model = CostModel()

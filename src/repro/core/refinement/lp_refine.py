@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.context import PartitionContext
 from repro.core.partition import PartitionedGraph
 from repro.graph.access import chunk_adjacency, segment_reduce_ratings
+from repro.verify.declarations import recorder_for
 
 
 def lp_refine(
@@ -41,56 +42,83 @@ def lp_refine(
     runtime = ctx.runtime
     rounds = ctx.config.lp_refinement_rounds if rounds is None else rounds
     total_moves = 0
+    # shared accesses declared in repro.verify.declarations ("lp-refinement")
+    rec = recorder_for(ctx.detector, "lp-refinement")
 
-    for _ in range(rounds):
+    for _round in range(rounds):
         order = ctx.rng.permutation(n).astype(np.int64)
         moves = 0
         sched = runtime.schedule(order)
-        for _tid, chunk in runtime.execute(sched, phase="lp-refinement"):
-            owner, nbrs, wgts = chunk_adjacency(g, chunk)
-            if len(owner) == 0:
-                continue
-            po, pb, pr = segment_reduce_ratings(
-                owner, part[nbrs].astype(np.int64), wgts, k
+        with runtime.region(f"lp-refinement-round{_round}"):
+            moves = _refine_round(
+                pgraph, ctx, g, sched, part, vwgt, max_block_weight, rec
             )
-            us = chunk[po]
-            cur = part[us].astype(np.int64)
-            is_current = pb == cur
-            # gain of moving owner to block pb = pr - affinity(current);
-            # compute current affinity per owner
-            cur_aff = np.zeros(len(chunk), dtype=np.int64)
-            cur_aff[po[is_current]] = pr[is_current]
-            gain = pr - cur_aff[po]
-            fits = pgraph.block_weights[pb] + vwgt[us] <= max_block_weight[pb]
-            ok = fits & ~is_current & (gain > 0)
-            if not np.any(ok):
-                runtime.record(
-                    "lp-refinement",
-                    work=float(len(owner)),
-                    bytes_moved=float(16 * len(owner)),
-                )
-                continue
-            po2, pb2, g2 = po[ok], pb[ok], gain[ok]
-            ordc = np.lexsort((g2, po2))
-            last = np.empty(len(ordc), dtype=bool)
-            last[-1] = True
-            last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
-            best = ordc[last]
-            runtime.record(
-                "lp-refinement",
-                work=float(len(owner)),
-                bytes_moved=float(16 * len(owner)),
-            )
-            for o, b in zip(po2[best].tolist(), pb2[best].tolist()):
-                u = int(chunk[o])
-                w = int(vwgt[u])
-                if pgraph.block_weights[b] + w > max_block_weight[b]:
-                    continue
-                pgraph.move(u, int(b))
-                moves += 1
         total_moves += moves
         ctx.tracer.add("refine.lp_rounds", 1)
         if moves == 0:
             break
     ctx.tracer.add("refine.lp_moves", total_moves)
     return total_moves
+
+
+def _refine_round(
+    pgraph, ctx, g, sched, part, vwgt, max_block_weight, rec
+) -> int:
+    """One LP refinement sweep over ``sched``; returns the move count."""
+    runtime = ctx.runtime
+    k = pgraph.k
+    moves = 0
+    for _tid, chunk in runtime.execute(sched, phase="lp-refinement"):
+        owner, nbrs, wgts = chunk_adjacency(g, chunk)
+        if len(owner) == 0:
+            continue
+        if rec.active:
+            rec.read("partition", nbrs)
+        po, pb, pr = segment_reduce_ratings(
+            owner, part[nbrs].astype(np.int64), wgts, k
+        )
+        us = chunk[po]
+        cur = part[us].astype(np.int64)
+        is_current = pb == cur
+        # gain of moving owner to block pb = pr - affinity(current);
+        # compute current affinity per owner
+        cur_aff = np.zeros(len(chunk), dtype=np.int64)
+        cur_aff[po[is_current]] = pr[is_current]
+        gain = pr - cur_aff[po]
+        fits = pgraph.block_weights[pb] + vwgt[us] <= max_block_weight[pb]
+        ok = fits & ~is_current & (gain > 0)
+        if not np.any(ok):
+            runtime.record(
+                "lp-refinement",
+                work=float(len(owner)),
+                bytes_moved=float(16 * len(owner)),
+            )
+            continue
+        po2, pb2, g2 = po[ok], pb[ok], gain[ok]
+        ordc = np.lexsort((g2, po2))
+        last = np.empty(len(ordc), dtype=bool)
+        last[-1] = True
+        last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
+        best = ordc[last]
+        runtime.record(
+            "lp-refinement",
+            work=float(len(owner)),
+            bytes_moved=float(16 * len(owner)),
+        )
+        moved: list[int] = []
+        touched_blocks: list[int] = []
+        for o, b in zip(po2[best].tolist(), pb2[best].tolist()):
+            u = int(chunk[o])
+            w = int(vwgt[u])
+            if pgraph.block_weights[b] + w > max_block_weight[b]:
+                continue
+            if rec.active:
+                moved.append(u)
+                touched_blocks.append(int(part[u]))
+                touched_blocks.append(b)
+            pgraph.move(u, int(b))
+            moves += 1
+        if rec.active and moved:
+            rec.atomic("partition", moved)
+            rec.atomic("block-weights", touched_blocks)
+    return moves

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.memory.scratch import tracked_empty, tracked_full
+
 # Decode-work factor of compressed vs CSR traversal, measured once per
 # process by `measured_decode_work_factor` (fallback if measurement is
 # impossible, e.g. a stripped-down environment).
@@ -159,7 +161,7 @@ def chunk_adjacency(
         nv, wv = graph.neighbors_and_weights(u)
         if len(nv) == 0:
             continue
-        owners.append(np.full(len(nv), i, dtype=np.int64))
+        owners.append(tracked_full(len(nv), i, name="adjacency-owner"))
         nbrs.append(np.asarray(nv))
         wgts.append(np.asarray(wv))
     if not owners:
@@ -202,7 +204,7 @@ def segment_reduce_ratings(
     order = np.argsort(key, kind="stable")
     key_s = key[order]
     w_s = weights[order]
-    boundary = np.empty(len(key_s), dtype=bool)
+    boundary = tracked_empty(len(key_s), bool, name="rating-segment-bounds")
     boundary[0] = True
     boundary[1:] = key_s[1:] != key_s[:-1]
     starts = np.flatnonzero(boundary)

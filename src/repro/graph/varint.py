@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.memory.scratch import tracked_empty
+
 MAX_VARINT64_BYTES = 10
 
 # Longest varint the vectorized assembler handles: 9 bytes x 7 payload bits
@@ -106,7 +108,7 @@ def encode_stream(values: np.ndarray, out: bytearray) -> int:
 
 def decode_stream(buf, pos: int, count: int) -> tuple[np.ndarray, int]:
     """Decode ``count`` VarInts starting at ``buf[pos:]``."""
-    out = np.empty(count, dtype=np.int64)
+    out = tracked_empty(count, np.int64, name="varint-decode-values")
     for i in range(count):
         result = 0
         shift = 0
@@ -187,7 +189,7 @@ def decode_stream_bulk(buf, pos: int, count: int) -> tuple[np.ndarray, int]:
     if len(term) < count:
         raise ValueError("varint stream truncated (corrupt stream?)")
     ends = term[:count]
-    starts = np.empty(count, dtype=np.int64)
+    starts = tracked_empty(count, np.int64, name="varint-span-starts")
     starts[0] = 0
     starts[1:] = ends[:-1] + 1
     lengths = ends - starts + 1
@@ -211,7 +213,7 @@ def decode_region_bulk(block_u8: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if len(term) == 0 or int(term[-1]) != len(block_u8) - 1:
         raise ValueError("varint region does not end on a value boundary")
     count = len(term)
-    starts = np.empty(count, dtype=np.int64)
+    starts = tracked_empty(count, np.int64, name="varint-span-starts")
     starts[0] = 0
     starts[1:] = term[:-1] + 1
     lengths = term - starts + 1

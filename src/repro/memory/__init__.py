@@ -22,6 +22,13 @@ from repro.memory.tracker import (
     PhaseStats,
 )
 from repro.memory.report import MemoryReport, render_phase_breakdown
+from repro.memory.scratch import (
+    install_ledger,
+    tracked_empty,
+    tracked_full,
+    tracked_zeros,
+    uninstall_ledger,
+)
 
 __all__ = [
     "Allocation",
@@ -30,4 +37,9 @@ __all__ = [
     "PhaseStats",
     "MemoryReport",
     "render_phase_breakdown",
+    "install_ledger",
+    "tracked_empty",
+    "tracked_full",
+    "tracked_zeros",
+    "uninstall_ledger",
 ]

@@ -22,14 +22,37 @@ import re
 from dataclasses import dataclass
 from typing import Iterable
 
-_LEVEL_RE = re.compile(r"-level\d+$")
+_LEVEL_RE = re.compile(r"(-level\d+|-round\d+)$")
 
 #: profile sections: (key, how runs aggregate, human metric name)
 PROFILE_KEYS = ("wall", "bytes", "kernel_wall", "kernel_bytes")
 
+#: The closed phase vocabulary.  Every ``tracker.phase`` / tracer span name
+#: in the partitioner must normalize (via :func:`normalize_phase`) to one of
+#: these, so attribution reports, the run database and the ``repro lint``
+#: phase-discipline pass all agree on what a phase is called.  Extend this
+#: set when introducing a genuinely new pipeline stage -- never spell an
+#: existing stage a second way.
+KNOWN_PHASES = frozenset(
+    {
+        "partition",  # root span
+        "compression",
+        "coarsening",
+        "clustering",
+        "clustering-2p",
+        "clustering-classic",
+        "contraction",
+        "initial-partitioning",
+        "refinement",
+        "lp-refinement",
+        "fm-pass",
+    }
+)
+
 
 def normalize_phase(name: str) -> str:
-    """Strip the per-level suffix: ``refinement-level3`` -> ``refinement``."""
+    """Strip the per-level / per-round suffix: ``refinement-level3`` ->
+    ``refinement``, ``clustering-2p-round1`` -> ``clustering-2p``."""
     return _LEVEL_RE.sub("", name)
 
 

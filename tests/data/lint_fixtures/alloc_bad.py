@@ -1,0 +1,13 @@
+"""Known-bad allocations: input-sized buffers the ledger never sees."""
+
+import numpy as np
+
+
+def untracked(n):
+    buf = np.empty(n, dtype=np.int64)  # UA001
+    return buf
+
+
+def untracked_bytes(n):
+    blob = bytearray(n)  # UA001
+    return blob

@@ -1,0 +1,23 @@
+"""Known-good allocations: tracked constructors, ledger charges, O(1) scratch."""
+
+import numpy as np
+
+from repro.memory.scratch import tracked_empty, tracked_zeros
+
+
+def uses_tracked(n):
+    buf = tracked_empty(n, np.int64, name="fixture-buf")
+    acc = tracked_zeros(n, np.int64, name="fixture-acc")
+    return buf, acc
+
+
+def charges_ledger(tracker, n):
+    buf = np.empty(n, dtype=np.int64)
+    tracker.alloc("fixture-buf", buf.nbytes, "scratch")
+    return buf
+
+
+def small_scratch():
+    slots = np.zeros(8, dtype=np.int64)  # constant O(1) size: exempt
+    grid = np.empty((4, 16), dtype=np.int64)  # 64 elements: still exempt
+    return slots, grid

@@ -1,0 +1,15 @@
+"""Known-bad narrowing: int64 IDs silently squeezed into int32."""
+
+import numpy as np
+
+
+def narrowing_store(n):
+    wide = np.empty(64, dtype=np.int64)
+    narrow = np.zeros(64, dtype=np.int32)
+    narrow[0] = wide[3]  # IW001
+    return narrow
+
+
+def unguarded_cast(n):
+    wide = np.arange(n, dtype=np.int64)
+    return wide.astype(np.int32)  # IW002

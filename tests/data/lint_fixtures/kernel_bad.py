@@ -1,0 +1,18 @@
+"""Known-bad parallel kernel: one of each parallel-access violation."""
+
+from repro.verify.declarations import recorder_for
+
+
+def bad_kernel(det, runtime, sched, clusters, vwgt, scratch):
+    rec = recorder_for(det, "lp-clustering")
+    for _tid, chunk in runtime.execute(sched):
+        rec.read("ratings-scratch", chunk)  # PA001: never declared
+        rec.write("clusters", chunk)  # PA002: declared read/atomic only
+        det.record_write("cluster-weights", chunk)  # PA002 via direct call
+        vwgt[chunk] = 0  # PA003: vertex-weights is declared read-only
+    return clusters
+
+
+def bad_binding(det):
+    rec = recorder_for(det, "no-such-kernel")  # PA005: unknown key
+    return rec

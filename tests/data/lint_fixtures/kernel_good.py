@@ -1,0 +1,25 @@
+"""Known-good parallel kernel: every access matches its declaration."""
+
+import numpy as np
+
+from repro.verify.declarations import recorder_for
+
+
+def good_kernel(det, runtime, sched, clusters, cluster_weights, vwgt):
+    rec = recorder_for(det, "lp-clustering")
+    for _tid, chunk in runtime.execute(sched):
+        nbrs = chunk
+        if rec.active:
+            rec.read("clusters", nbrs)
+            rec.read("vertex-weights", chunk)
+        moved = chunk[clusters[chunk] != 0]
+        if rec.active:
+            rec.atomic("clusters", moved)
+            rec.atomic("cluster-weights", moved)
+    return clusters
+
+
+def helper_shares_module_kernel(rec, part):
+    # helpers extracted from the kernel resolve to the module's binding
+    rec.atomic("clusters", np.arange(4))
+    return part

@@ -1,0 +1,9 @@
+"""Known-bad dispatch: parallel work with no access declarations at all."""
+
+
+def undeclared_kernel(runtime, sched, out):
+    total = 0
+    for _tid, chunk in runtime.execute(sched):  # PA004: no recorder bound
+        out[chunk] = 1
+        total += len(chunk)
+    return total

@@ -1,0 +1,10 @@
+"""Known-bad phase discipline: off-vocabulary names, manual spans."""
+
+
+def bad_phases(ctx, tracker, name_from_caller):
+    with ctx.phase("coarsning"):  # PH001: typo not in KNOWN_PHASES
+        pass
+    span = tracker.phase("refinement")  # PH002: not a with-block
+    span.__enter__()  # PH002: manual enter
+    with ctx.phase(name_from_caller):  # PH003: dynamic name
+        pass

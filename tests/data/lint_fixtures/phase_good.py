@@ -1,0 +1,11 @@
+"""Known-good phase discipline: vocabulary names, with-block spans."""
+
+
+def drives_phases(ctx, tracer, two_phase):
+    phase_name = "clustering-2p" if two_phase else "clustering-classic"
+    with ctx.phase("coarsening"):
+        for rnd in range(3):
+            with tracer.span(f"{phase_name}-round{rnd}"):
+                pass
+    with ctx.phase("refinement-level3"):
+        pass

@@ -1,0 +1,278 @@
+"""Tests for the ``repro lint`` static analyzer (repro.analysis).
+
+Each pass is exercised against a known-good and a known-bad fixture under
+``tests/data/lint_fixtures``; the self-test at the bottom runs the real
+gate over the installed package against the committed baseline, so any
+drift between the code and ``analysis/baseline.json`` fails the suite
+before it fails CI.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import analysis
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.core import fingerprint, load_module
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+BASELINE = REPO_ROOT / "analysis" / "baseline.json"
+
+
+def lint_one(path: Path, pass_id: str | None = None):
+    passes = [pass_id] if pass_id else None
+    return analysis.lint_paths([path], passes=passes).findings
+
+
+def codes_at(findings):
+    return {(f.code, f.line) for f in findings}
+
+
+# --------------------------------------------------------------------- #
+# pass 1: parallel access
+# --------------------------------------------------------------------- #
+class TestParallelAccess:
+    def test_good_kernel_clean(self):
+        assert lint_one(FIXTURES / "kernel_good.py") == []
+
+    def test_bad_kernel_all_codes(self):
+        findings = lint_one(FIXTURES / "kernel_bad.py", "parallel-access")
+        assert codes_at(findings) == {
+            ("PA001", 9),
+            ("PA002", 10),
+            ("PA002", 11),
+            ("PA003", 12),
+            ("PA005", 17),
+        }
+        assert all(f.pass_id == "parallel-access" for f in findings)
+        assert all(f.file == "kernel_bad.py" for f in findings)
+
+    def test_execute_without_declarations(self):
+        findings = lint_one(FIXTURES / "kernel_nodecl.py", "parallel-access")
+        assert codes_at(findings) == {("PA004", 6)}
+        assert findings[0].severity == "warning"
+
+    def test_injected_undeclared_write_located(self, tmp_path):
+        """Acceptance: an injected undeclared write is reported with the
+        exact file:line and pass ID."""
+        src = (FIXTURES / "kernel_good.py").read_text().splitlines()
+        marker = src.index("        nbrs = chunk")
+        src.insert(marker + 1, '        rec.write("partition", chunk)')
+        bad = tmp_path / "injected.py"
+        bad.write_text("\n".join(src) + "\n")
+        findings = lint_one(bad, "parallel-access")
+        assert len(findings) == 1
+        f = findings[0]
+        assert (f.pass_id, f.code) == ("parallel-access", "PA001")
+        assert (f.file, f.line) == ("injected.py", marker + 2)
+
+
+# --------------------------------------------------------------------- #
+# pass 2: untracked allocations
+# --------------------------------------------------------------------- #
+class TestUntrackedAlloc:
+    def test_good_allocs_clean(self):
+        assert lint_one(FIXTURES / "alloc_good.py") == []
+
+    def test_bad_allocs_flagged(self):
+        findings = lint_one(FIXTURES / "alloc_bad.py", "untracked-alloc")
+        assert codes_at(findings) == {("UA001", 7), ("UA001", 12)}
+        assert {f.subject for f in findings} == {
+            "untracked:empty",
+            "untracked_bytes:bytearray",
+        }
+
+    def test_out_of_scope_subpackage_skipped(self):
+        # obs/ is outside the accounting-critical subpackages
+        pkg = Path(repro.__file__).parent
+        findings = analysis.lint_paths(
+            [pkg / "obs"], passes=["untracked-alloc"]
+        ).findings
+        assert findings == []
+
+
+# --------------------------------------------------------------------- #
+# pass 3: integer width
+# --------------------------------------------------------------------- #
+class TestIntWidth:
+    def test_guarded_and_widening_clean(self):
+        assert lint_one(FIXTURES / "intwidth_good.py") == []
+
+    def test_narrowing_flagged(self):
+        findings = lint_one(FIXTURES / "intwidth_bad.py", "int-width")
+        assert codes_at(findings) == {("IW001", 9), ("IW002", 15)}
+
+
+# --------------------------------------------------------------------- #
+# pass 4: phase discipline
+# --------------------------------------------------------------------- #
+class TestPhaseDiscipline:
+    def test_good_phases_clean(self):
+        assert lint_one(FIXTURES / "phase_good.py") == []
+
+    def test_bad_phases_flagged(self):
+        findings = lint_one(FIXTURES / "phase_bad.py", "phase-discipline")
+        assert codes_at(findings) == {
+            ("PH001", 5),
+            ("PH002", 7),
+            ("PH002", 8),
+            ("PH003", 9),
+        }
+
+
+# --------------------------------------------------------------------- #
+# suppressions and baseline mechanics
+# --------------------------------------------------------------------- #
+class TestSuppression:
+    def test_inline_suppression_same_line(self, tmp_path):
+        f = tmp_path / "s.py"
+        f.write_text(
+            "import numpy as np\n"
+            "def g(n):\n"
+            "    return np.empty(n)  # repro-lint: ignore[untracked-alloc]\n"
+        )
+        report = analysis.lint_paths([f])
+        assert report.findings == [] and report.suppressed == 1
+
+    def test_inline_suppression_line_above_by_code(self, tmp_path):
+        f = tmp_path / "s.py"
+        f.write_text(
+            "import numpy as np\n"
+            "def g(n):\n"
+            "    # repro-lint: ignore[UA001]\n"
+            "    return np.empty(n)\n"
+        )
+        report = analysis.lint_paths([f])
+        assert report.findings == [] and report.suppressed == 1
+
+    def test_skip_file(self, tmp_path):
+        f = tmp_path / "s.py"
+        f.write_text(
+            "# repro-lint: skip-file\n"
+            "import numpy as np\n"
+            "def g(n):\n"
+            "    return np.empty(n)\n"
+        )
+        assert analysis.lint_paths([f]).findings == []
+
+    def test_unrelated_suppression_does_not_hide(self, tmp_path):
+        f = tmp_path / "s.py"
+        f.write_text(
+            "import numpy as np\n"
+            "def g(n):\n"
+            "    return np.empty(n)  # repro-lint: ignore[int-width]\n"
+        )
+        assert len(analysis.lint_paths([f]).findings) == 1
+
+
+class TestBaseline:
+    def _findings(self, path):
+        return analysis.lint_paths([path]).findings
+
+    def test_baseline_absorbs_known_findings(self, tmp_path):
+        findings = self._findings(FIXTURES / "alloc_bad.py")
+        bl = tmp_path / "b.json"
+        baseline_mod.save(bl, findings)
+        report = analysis.lint_paths([FIXTURES / "alloc_bad.py"], baseline=bl)
+        assert report.new == [] and report.baselined == len(findings)
+
+    def test_extra_occurrence_of_same_shape_is_new(self, tmp_path):
+        findings = self._findings(FIXTURES / "alloc_bad.py")
+        accepted = {fingerprint(f): 1 for f in findings}
+        # a second allocation in the same function: same fingerprint,
+        # count exceeds the accepted budget
+        doubled = findings + [findings[0]]
+        report = baseline_mod.apply(doubled, accepted)
+        assert len(report.new) == 1
+
+    def test_stale_entries_reported(self, tmp_path):
+        bl = tmp_path / "b.json"
+        baseline_mod.save(bl, self._findings(FIXTURES / "alloc_bad.py"))
+        report = analysis.lint_paths([FIXTURES / "alloc_good.py"], baseline=bl)
+        assert len(report.stale_baseline) == 2
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        bl = tmp_path / "b.json"
+        bl.write_text(json.dumps({"version": 999, "findings": {}}))
+        with pytest.raises(ValueError, match="version"):
+            baseline_mod.load(bl)
+
+
+# --------------------------------------------------------------------- #
+# the real tree: self-test against the committed baseline
+# --------------------------------------------------------------------- #
+class TestSelfCheck:
+    def test_package_matches_committed_baseline(self):
+        """Acceptance: `repro lint --gate` exits 0 against the committed
+        baseline -- lint drift must be fixed or re-baselined in the same
+        change that introduces it."""
+        rc = cli_main(["lint", "--gate", "--baseline", str(BASELINE)])
+        assert rc == 0
+
+    def test_gate_fails_on_new_finding(self, tmp_path):
+        bad = tmp_path / "fresh.py"
+        bad.write_text(
+            "import numpy as np\ndef g(n):\n    return np.empty(n)\n"
+        )
+        rc = cli_main(
+            ["lint", "--gate", "--baseline", str(BASELINE), str(bad)]
+        )
+        assert rc == 1
+
+    def test_update_baseline_roundtrip(self, tmp_path):
+        bl = tmp_path / "b.json"
+        rc = cli_main(
+            [
+                "lint",
+                "--update-baseline",
+                "--baseline",
+                str(bl),
+                str(FIXTURES / "alloc_bad.py"),
+            ]
+        )
+        assert rc == 0
+        rc = cli_main(
+            [
+                "lint",
+                "--gate",
+                "--baseline",
+                str(bl),
+                str(FIXTURES / "alloc_bad.py"),
+            ]
+        )
+        assert rc == 0
+
+    def test_json_report(self, tmp_path):
+        out = tmp_path / "report.json"
+        cli_main(
+            [
+                "lint",
+                "--baseline",
+                str(BASELINE),
+                "--json",
+                str(out),
+                str(FIXTURES / "kernel_bad.py"),
+            ]
+        )
+        data = json.loads(out.read_text())
+        assert data["total_findings"] == 5
+        assert data["by_pass"]["parallel-access"] == 5
+        assert len(data["new_findings"]) == 5
+
+    def test_real_spans_resolve_statically(self):
+        """The analyzer must fully resolve every span/phase name in the
+        driver and kernels -- no PH003 escape hatch on the real tree."""
+        from repro.analysis import phases
+
+        pkg = Path(repro.__file__).parent
+        for rel in (
+            "core/partitioner.py",
+            "core/coarsening/coarsener.py",
+            "core/coarsening/lp_clustering.py",
+        ):
+            mod = load_module(pkg / rel)
+            assert phases.run(mod) == [], rel
