@@ -331,12 +331,60 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     )
     R.write_trajectory(args.trajectory, traj)
     print(f"trajectory: {args.trajectory}")
+    if args.attrib:
+        _write_attrib_diff(args.attrib, baseline, candidates, args.label)
+        print(f"attribution: {args.attrib}")
     if args.gate and result.regressed:
         print("perf gate: FAILED (confirmed regression)")
         return 1
     if args.gate:
         print("perf gate: passed")
     return 0
+
+
+def _write_attrib_diff(path, baseline, candidates, label) -> None:
+    """Full per-phase profile diff (every section, every phase, no verdict
+    filter) -- the CI artifact that answers "where did the time/bytes move"
+    even when no metric was flagged."""
+    import json
+
+    from repro.obs.regress import attrib as A
+
+    base_profile = A.aggregate_profiles(
+        g.get("profile", {}) for g in baseline.groups.values()
+    )
+    cand_profile = A.profiles_from_records(candidates)
+    deltas = {
+        section: [
+            {
+                "phase": d.phase,
+                "metric": d.metric,
+                "base": d.base,
+                "cand": d.cand,
+                "pct": None if d.pct == float("inf") else round(d.pct, 2),
+                "kernel": d.kernel,
+            }
+            for d in A.diff_profiles(
+                base_profile,
+                cand_profile,
+                section=section,
+                min_pct=0.0,
+                min_share=0.0,
+                top=64,
+            )
+        ]
+        for section in A.PROFILE_KEYS
+    }
+    payload = {
+        "schema": 1,
+        "kind": "attribution-diff",
+        "baseline": baseline.name,
+        "candidate_label": label,
+        "base_profile": base_profile,
+        "cand_profile": cand_profile,
+        "deltas": deltas,
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
 
 
 def cmd_bench_trend(args: argparse.Namespace) -> int:
@@ -556,6 +604,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trajectory",
         default="BENCH_trajectory.json",
         help="machine-readable output (default: %(default)s)",
+    )
+    bp.add_argument(
+        "--attrib",
+        default=None,
+        help="write the full per-phase attribution diff (JSON) here, "
+        "regardless of verdicts",
     )
     bp.set_defaults(func=cmd_bench_compare)
 

@@ -27,10 +27,17 @@ import numpy as np
 
 from repro.core.context import PartitionContext
 from repro.core.coarsening.contraction import ContractionOutput
-from repro.graph.access import chunk_adjacency, segment_reduce_ratings, traversal_cost
+from repro.core.kernels import aggregate_coarse_edges, gather_cluster_members
+from repro.graph.access import chunk_adjacency, traversal_cost
 from repro.graph.csr import CSRGraph
 from repro.parallel.atomics import DualCounter
 from repro.verify.declarations import recorder_for
+
+
+def _null_tracer():
+    from repro.obs.tracer import NULL_TRACER
+
+    return NULL_TRACER
 
 
 def contract_one_pass(
@@ -100,76 +107,63 @@ def contract_one_pass(
         )
     if det is not None:
         det.begin_region("contraction")
-    for _tid, leader_idx in runtime.execute(
-        sched,
-        weights=chunk_weights,
-        default_order=default_order,
-        phase="contraction",
-    ):
-        # leader_idx: indices into `leaders`
-        chunk_leaders = leaders[leader_idx]
-        # flatten all member vertices of this chunk's clusters
-        counts = member_ends[leader_idx] - member_starts[leader_idx]
-        total_members = int(counts.sum())
-        if total_members:
-            gather = np.repeat(
-                member_starts[leader_idx], counts
-            ) + (
-                np.arange(total_members, dtype=np.int64)
-                - np.repeat(np.cumsum(counts) - counts, counts)
+    ktracer = ctx.tracer if ctx.config.obs.kernel_spans else _null_tracer()
+    with ktracer.span("contraction-aggregate"):
+        for _tid, leader_idx in runtime.execute(
+            sched,
+            weights=chunk_weights,
+            default_order=default_order,
+            phase="contraction",
+        ):
+            # leader_idx: indices into `leaders`
+            chunk_leaders = leaders[leader_idx]
+            # flatten all member vertices of this chunk's clusters
+            members, member_owner = gather_cluster_members(
+                member_order, member_starts, member_ends, leader_idx
             )
-            members = member_order[gather]
-            member_owner = np.repeat(
-                np.arange(len(leader_idx), dtype=np.int64), counts
-            )
-        else:
-            members = np.empty(0, dtype=np.int64)
-            member_owner = np.empty(0, dtype=np.int64)
 
-        owner_m, nbrs, wgts = chunk_adjacency(graph, members)
-        if len(owner_m):
+            owner_m, nbrs, wgts = chunk_adjacency(graph, members)
             owner = member_owner[owner_m]  # chunk-local coarse vertex index
-            target = clusters[nbrs]
-            po, pc, pw = segment_reduce_ratings(owner, target, wgts, n)
-            keep = pc != chunk_leaders[po]  # drop intra-cluster edges
-            po, pc, pw = po[keep], pc[keep], pw[keep]
-        else:
-            po = pc = pw = np.empty(0, dtype=np.int64)
-
-        nc = np.bincount(po, minlength=len(leader_idx))
-        bumped += int(np.sum(nc >= t_bump))
-
-        # dual-counter transaction for the whole chunk (buffered CAS)
-        d_prev, s_prev = dual.fetch_add(len(po), len(leader_idx))
-
-        # neighborhoods are already grouped by owner (segment reduce sorts
-        # by (owner, cluster)); place them at E'[d_prev:]
-        eprime_dst[d_prev : d_prev + len(po)] = pc
-        eprime_w[d_prev : d_prev + len(po)] = pw
-        local_offsets = np.searchsorted(po, np.arange(len(leader_idx)))
-        pprime[s_prev : s_prev + len(leader_idx)] = d_prev + local_offsets
-        new_ids = s_prev + np.arange(len(leader_idx), dtype=np.int64)
-        new_id_of_leader[chunk_leaders] = new_ids
-        new_vwgt[new_ids] = cluster_weights[chunk_leaders]
-
-        if rec.active:
-            # plain writes: the dual counter's pre-increment values must
-            # make every chunk's slices disjoint -- the detector verifies it
-            if len(po):
-                rec.write("coarse-edges", np.arange(d_prev, d_prev + len(po)))
-            rec.write(
-                "coarse-indptr", np.arange(s_prev, s_prev + len(leader_idx))
+            po, pc, pw, local_offsets = aggregate_coarse_edges(
+                owner, clusters[nbrs], wgts, chunk_leaders, n, len(leader_idx)
             )
-            rec.write("new-id-of-leader", chunk_leaders)
-            rec.write("coarse-vwgt", new_ids)
 
-        tracker.touch(eprime_aid, 16 * dual.d)
-        runtime.record(
-            "contraction",
-            work=float(len(owner_m)) * work_factor + float(len(po)),
-            bytes_moved=edge_bytes * len(owner_m) + 16.0 * len(po),
-            atomic_ops=1,
-        )
+            nc = np.bincount(po, minlength=len(leader_idx))
+            bumped += int(np.sum(nc >= t_bump))
+
+            # dual-counter transaction for the whole chunk (buffered CAS)
+            d_prev, s_prev = dual.fetch_add(len(po), len(leader_idx))
+
+            # neighborhoods are already grouped by owner (segment reduce
+            # sorts by (owner, cluster)); place them at E'[d_prev:]
+            eprime_dst[d_prev : d_prev + len(po)] = pc
+            eprime_w[d_prev : d_prev + len(po)] = pw
+            pprime[s_prev : s_prev + len(leader_idx)] = d_prev + local_offsets
+            new_ids = s_prev + np.arange(len(leader_idx), dtype=np.int64)
+            new_id_of_leader[chunk_leaders] = new_ids
+            new_vwgt[new_ids] = cluster_weights[chunk_leaders]
+
+            if rec.active:
+                # plain writes: the dual counter's pre-increment values must
+                # make every chunk's slices disjoint -- the detector
+                # verifies it
+                if len(po):
+                    rec.write(
+                        "coarse-edges", np.arange(d_prev, d_prev + len(po))
+                    )
+                rec.write(
+                    "coarse-indptr", np.arange(s_prev, s_prev + len(leader_idx))
+                )
+                rec.write("new-id-of-leader", chunk_leaders)
+                rec.write("coarse-vwgt", new_ids)
+
+            tracker.touch(eprime_aid, 16 * dual.d)
+            runtime.record(
+                "contraction",
+                work=float(len(owner_m)) * work_factor + float(len(po)),
+                bytes_moved=edge_bytes * len(owner_m) + 16.0 * len(po),
+                atomic_ops=1,
+            )
 
     if det is not None:
         det.end_region()

@@ -143,6 +143,12 @@ class PartitionerConfig:
     use_fm: bool = False
     fm: FMConfig = field(default_factory=FMConfig)
     lp_refinement_rounds: int = 3
+    # Route the hot phases (LP clustering commits, one-pass contraction
+    # aggregation, LP refinement commits, gain-table construction/probing)
+    # through the chunk-granular numpy bulk kernels in repro.core.kernels.
+    # False selects the per-vertex scalar reference paths, which the
+    # differential-equivalence tests prove bit-identical to the kernels.
+    use_bulk_kernels: bool = True
     debug: DebugConfig = field(default_factory=DebugConfig)
     obs: ObsConfig = field(default_factory=ObsConfig)
 

@@ -12,11 +12,14 @@ import heapq
 
 import numpy as np
 
+from repro.core.kernels import two_way_cut, two_way_gains
+from repro.memory.scratch import tracked_zeros
 
-def _gains(graph, part: np.ndarray) -> np.ndarray:
-    """gain[u] = w(edges to other side) - w(edges to own side)."""
+
+def _gains_scalar(graph, part: np.ndarray) -> np.ndarray:
+    """Per-vertex reference for :func:`_gains` (equivalence-tested)."""
     n = graph.n
-    gain = np.zeros(n, dtype=np.int64)
+    gain = tracked_zeros(n, np.int64, name="fm2way-gains")
     for u in range(n):
         nbrs, wgts = graph.neighbors_and_weights(u)
         if len(nbrs) == 0:
@@ -27,7 +30,13 @@ def _gains(graph, part: np.ndarray) -> np.ndarray:
     return gain
 
 
-def cut2way(graph, part: np.ndarray) -> int:
+def _gains(graph, part: np.ndarray) -> np.ndarray:
+    """gain[u] = w(edges to other side) - w(edges to own side)."""
+    return two_way_gains(graph, part)
+
+
+def cut2way_scalar(graph, part: np.ndarray) -> int:
+    """Per-vertex reference for :func:`cut2way` (equivalence-tested)."""
     total = 0
     for u in range(graph.n):
         nbrs, wgts = graph.neighbors_and_weights(u)
@@ -36,6 +45,10 @@ def cut2way(graph, part: np.ndarray) -> int:
         cross = part[np.asarray(nbrs)] != part[u]
         total += int(np.asarray(wgts)[cross].sum())
     return total // 2
+
+
+def cut2way(graph, part: np.ndarray) -> int:
+    return two_way_cut(graph, part)
 
 
 def fm2way_refine(

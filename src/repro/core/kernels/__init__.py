@@ -1,0 +1,53 @@
+"""Chunk-granular numpy bulk kernels for the hot phases (ROADMAP item 1).
+
+Every kernel in this package operates on *one chunk* of work as handed out
+by :meth:`repro.parallel.runtime.ParallelRuntime.execute` -- the kernels
+never schedule work themselves and never hold state across chunks, so the
+simulated-parallel semantics (ownership, conflict detection, deterministic
+replay) are entirely the caller's.  The contract:
+
+* inputs are the chunk's flattened adjacency (``owner``/``neighbors``/
+  ``weights`` from :func:`repro.graph.access.chunk_adjacency`) plus whatever
+  shared arrays the phase reads;
+* shared-array *mutations* happen either in the calling kernel (which binds
+  a :class:`~repro.verify.declarations.SharedAccessRecorder`) or through an
+  explicitly-passed capacity array (:func:`bulk_size_constrained_commit`),
+  never through hidden module state;
+* every kernel is bit-identical to the scalar reference path it replaces.
+  The scalar paths stay in the phase modules behind
+  ``PartitionerConfig.use_bulk_kernels = False`` and the differential tests
+  (``tests/test_bulk_equivalence.py``) prove equality across seeds and
+  thread counts.
+
+Scratch arrays are allocated with the tracked constructors from
+:mod:`repro.memory.scratch` so the memory ledger (and the ``repro lint``
+untracked-allocation pass) sees them.
+"""
+
+from repro.core.kernels.commit import bulk_size_constrained_commit
+from repro.core.kernels.contraction import (
+    aggregate_coarse_edges,
+    gather_cluster_members,
+)
+from repro.core.kernels.gains import (
+    batch_hash_insert,
+    batch_hash_probe,
+    entry_width_bits_bulk,
+    move_gains,
+    two_way_cut,
+    two_way_gains,
+)
+from repro.core.kernels.segments import segment_best_last
+
+__all__ = [
+    "bulk_size_constrained_commit",
+    "gather_cluster_members",
+    "aggregate_coarse_edges",
+    "segment_best_last",
+    "move_gains",
+    "two_way_gains",
+    "two_way_cut",
+    "batch_hash_insert",
+    "batch_hash_probe",
+    "entry_width_bits_bulk",
+]

@@ -1,0 +1,66 @@
+"""Bulk kernels for one-pass contraction (Section IV-B2).
+
+Per chunk of coarse vertices: flatten the member lists into one gather,
+aggregate the members' adjacency into coarse edges with a sort-based
+segment reduction, and derive the per-coarse-vertex offsets the caller
+writes behind the dual counter.  Pure functions -- the caller owns the
+dual-counter transaction, the ``E'``/``P'`` slice writes and all recorder
+declarations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.access import segment_reduce_ratings
+
+
+def gather_cluster_members(
+    member_order: np.ndarray,
+    member_starts: np.ndarray,
+    member_ends: np.ndarray,
+    leader_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the member vertices of one chunk of clusters.
+
+    Returns ``(members, member_owner)`` where ``member_owner[i]`` is the
+    chunk-local coarse-vertex index owning fine vertex ``members[i]``.
+    """
+    counts = member_ends[leader_idx] - member_starts[leader_idx]
+    total = int(counts.sum())
+    if total == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e
+    gather = np.repeat(member_starts[leader_idx], counts) + (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    members = member_order[gather]
+    member_owner = np.repeat(np.arange(len(leader_idx), dtype=np.int64), counts)
+    return members, member_owner
+
+
+def aggregate_coarse_edges(
+    owner: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    chunk_leaders: np.ndarray,
+    id_space: int,
+    num_owners: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Segment-reduce a chunk's member adjacency into coarse edges.
+
+    ``targets`` holds the neighbors' cluster leaders; intra-cluster edges
+    (target == own leader) are dropped.  Returns ``(po, pc, pw,
+    local_offsets)``: the coarse edge list grouped by chunk-local owner
+    (clusters sorted ascending within each owner, the segment-reduce
+    order) plus each owner's first-edge offset within the list.
+    """
+    if len(owner):
+        po, pc, pw = segment_reduce_ratings(owner, targets, weights, id_space)
+        keep = pc != chunk_leaders[po]
+        po, pc, pw = po[keep], pc[keep], pw[keep]
+    else:
+        po = pc = pw = np.empty(0, dtype=np.int64)
+    local_offsets = np.searchsorted(po, np.arange(num_owners, dtype=np.int64))
+    return po, pc, pw, local_offsets

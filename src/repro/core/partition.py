@@ -61,10 +61,14 @@ class PartitionedGraph:
             src = np.repeat(np.arange(g.n, dtype=np.int64), g.degrees)
             cross = part[src] != part[g.adjncy]
             return int(np.asarray(g.adjwgt)[cross].sum()) // 2
+        # compressed graphs: bulk-decode in chunks instead of per vertex
+        from repro.graph.access import chunk_adjacency
+
         total = 0
-        for u in range(g.n):
-            nbrs, wgts = g.neighbors_and_weights(u)
-            cross = part[u] != part[nbrs]
+        for start in range(0, g.n, 4096):
+            chunk = np.arange(start, min(start + 4096, g.n), dtype=np.int64)
+            owner, nbrs, wgts = chunk_adjacency(g, chunk)
+            cross = part[chunk[owner]] != part[nbrs]
             total += int(np.asarray(wgts)[cross].sum())
         return total // 2
 
@@ -94,12 +98,17 @@ class PartitionedGraph:
             src = np.repeat(np.arange(g.n, dtype=np.int64), g.degrees)
             cross = part[src] != part[g.adjncy]
             return np.unique(src[cross])
-        out = [
-            u
-            for u in range(g.n)
-            if len(g.neighbors(u)) and np.any(part[g.neighbors(u)] != part[u])
-        ]
-        return np.asarray(out, dtype=np.int64)
+        from repro.graph.access import chunk_adjacency
+
+        out: list[np.ndarray] = []
+        for start in range(0, g.n, 4096):
+            chunk = np.arange(start, min(start + 4096, g.n), dtype=np.int64)
+            owner, nbrs, _ = chunk_adjacency(g, chunk)
+            cross = part[chunk[owner]] != part[nbrs]
+            out.append(chunk[np.unique(owner[cross])])
+        return (
+            np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+        )
 
     def validate(self) -> None:
         """Check invariants: weights consistent, assignment in range."""

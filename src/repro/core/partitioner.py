@@ -169,10 +169,12 @@ def partition(
                 "num_levels": len(levels),
             },
         ).to_dict()
+    cut = pgraph.cut_weight()
+    half_tew = pgraph.graph.total_edge_weight // 2
     return PartitionResult(
         pgraph=pgraph,
-        cut=pgraph.cut_weight(),
-        cut_fraction=pgraph.cut_fraction(),
+        cut=cut,
+        cut_fraction=cut / half_tew if half_tew else 0.0,
         imbalance=pgraph.imbalance(),
         balanced=pgraph.is_balanced(config.epsilon),
         wall_seconds=wall,
@@ -205,6 +207,7 @@ def _partition_phases(graph, k, config, ctx, inv, checks_run):
                     graph,
                     enable_intervals=config.compression_intervals,
                     tracker=None,
+                    bulk=config.use_bulk_kernels,
                 )
                 input_aid = tracker.alloc("input-graph", top.nbytes, "graph")
                 tracer.add("compression.input_bytes", graph.nbytes)

@@ -40,7 +40,13 @@ def fm_refine_localized(
     total = 0
     tracer = ctx.tracer
     for _ in range(cfg.max_rounds):
-        table = make_gain_table(cfg.gain_table, pgraph, ctx.tracker)
+        with tracer.span("gain-table-build"):
+            table = make_gain_table(
+                cfg.gain_table,
+                pgraph,
+                ctx.tracker,
+                bulk=ctx.config.use_bulk_kernels,
+            )
         if tracer.enabled:
             tracer.add("gain_table.bytes", table.nbytes)
             mix = getattr(table, "width_mix", None)

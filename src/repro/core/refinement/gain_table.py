@@ -25,6 +25,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels.gains import (
+    batch_hash_insert,
+    batch_hash_probe,
+    entry_width_bits_bulk,
+)
+from repro.memory.scratch import tracked_zeros
+
 
 def entry_width_bits(total_incident_weight: int) -> int:
     """Smallest w in {8, 16, 32, 64} with ``w > log2(U)``."""
@@ -72,17 +79,52 @@ class NoGainTable:
         self.recompute_edges += len(nbrs)
         blocks = self._pgraph.partition[np.asarray(nbrs)]
         uniq, inv = np.unique(blocks, return_inverse=True)
-        aff = np.zeros(len(uniq), dtype=np.int64)
+        aff = tracked_zeros(len(uniq), np.int64, name="gain-recompute-aff")
         np.add.at(aff, inv, np.asarray(wgts))
         cur = int(self._pgraph.partition[u])
         cur_aff = int(aff[np.searchsorted(uniq, cur)]) if cur in uniq else 0
         return uniq, aff - cur_aff
+
+    def gains_many(
+        self, us: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`gains`: ``(owner, blocks, gains)`` pair lists.
+
+        ``owner`` indexes into ``us``; blocks are ascending within each
+        owner, exactly the per-vertex :meth:`gains` output concatenated.
+        """
+        from repro.graph.access import chunk_adjacency, segment_reduce_ratings
+
+        us = np.asarray(us, dtype=np.int64)
+        e = np.empty(0, dtype=np.int64)
+        if len(us) == 0:
+            return e, e, e
+        g = self._pgraph.graph
+        owner, nbrs, wgts = chunk_adjacency(g, us)
+        self.recompute_edges += int(len(nbrs))
+        if len(owner) == 0:
+            return e, e, e
+        part = self._pgraph.partition
+        o, b, v = segment_reduce_ratings(
+            owner, part[nbrs].astype(np.int64), wgts, self._pgraph.k
+        )
+        return o, b, v - _current_affinities(part, us, o, b, v)
 
     def apply_move(self, u: int, src: int, dst: int) -> None:
         pass  # nothing cached
 
     def free(self, tracker=None) -> None:
         pass
+
+
+def _current_affinities(part, us, o, b, v) -> np.ndarray:
+    """Per-pair affinity of each owner's *current* block (0 when the owner
+    has no neighbor in its own block)."""
+    cur = part[us].astype(np.int64)
+    iscur = b == cur[o]
+    cur_aff = tracked_zeros(len(us), np.int64, name="gains-many-cur-aff")
+    cur_aff[o[iscur]] = v[iscur]
+    return cur_aff[o]
 
 
 class FullGainTable:
@@ -130,6 +172,22 @@ class FullGainTable:
         cur = int(self._pgraph.partition[u])
         return blocks, self._table[u, blocks] - self._table[u, cur]
 
+    def gains_many(
+        self, us: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`gains` over the dense rows of ``us``."""
+        us = np.asarray(us, dtype=np.int64)
+        if len(us) == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e, e
+        rows = self._table[us]
+        o, b = np.nonzero(rows)
+        o = o.astype(np.int64)
+        b = b.astype(np.int64)
+        v = rows[o, b]
+        cur = self._pgraph.partition[us].astype(np.int64)
+        return o, b, v - rows[o, cur[o]]
+
     def apply_move(self, u: int, src: int, dst: int) -> None:
         """Update neighbor affinities after ``u`` moved ``src -> dst``."""
         g = self._pgraph.graph
@@ -162,8 +220,9 @@ class SparseGainTable:
 
     EMPTY = -1
 
-    def __init__(self, pgraph, tracker=None) -> None:
+    def __init__(self, pgraph, tracker=None, *, bulk: bool = True) -> None:
         self._pgraph = pgraph
+        self._bulk = bulk
         g = pgraph.graph
         n, k = g.n, pgraph.k
         degrees = np.asarray(g.degrees)
@@ -188,9 +247,13 @@ class SparseGainTable:
             inc = np.array(
                 [g.incident_weight(u) for u in range(n)], dtype=np.int64
             )
-        self._width_bits = np.array(
-            [entry_width_bits(int(w)) for w in inc.tolist()], dtype=np.int64
-        )
+        if bulk:
+            self._width_bits = entry_width_bits_bulk(inc)
+        else:
+            self._width_bits = np.array(
+                [entry_width_bits(int(w)) for w in inc.tolist()],
+                dtype=np.int64,
+            )
         self.lock_acquisitions = 0
         self._build()
         self._aid = (
@@ -216,8 +279,33 @@ class SparseGainTable:
         po, pb, pa = segment_reduce_ratings(
             src, part[dst].astype(np.int64), np.asarray(wgt), k
         )
-        for u, b, a in zip(po.tolist(), pb.tolist(), pa.tolist()):
-            self._insert_add(int(u), int(b), int(a))
+        if not self._bulk:
+            for u, b, a in zip(po.tolist(), pb.tolist(), pa.tolist()):
+                self._insert_add(int(u), int(b), int(a))
+            return
+        # bulk build: dense rows scatter directly; hash rows insert via the
+        # rank-wave kernel, which replays the scalar per-row probe sequence
+        # exactly (pairs arrive grouped by vertex, blocks ascending)
+        dense_pair = self._dense[po]
+        if np.any(dense_pair):
+            d = np.flatnonzero(dense_pair)
+            self._vals[self._offsets[po[d]] + pb[d]] = pa[d]
+        h = np.flatnonzero(~dense_pair)
+        if len(h):
+            # mirror the scalar path: one lock acquisition per hash insert;
+            # aggregated affinities are > 0 (edge weights are positive), so
+            # every pair lands as a fresh key
+            self.lock_acquisitions += len(h)
+            rows = po[h]
+            batch_hash_insert(
+                self._keys,
+                self._vals,
+                self._offsets[rows],
+                self._caps[rows],
+                pb[h],
+                pa[h],
+                empty=self.EMPTY,
+            )
 
     # -- slot arithmetic ------------------------------------------------ #
     def _range(self, u: int) -> tuple[int, int]:
@@ -317,14 +405,83 @@ class SparseGainTable:
         return np.sort(self._keys[lo:hi][mask].astype(np.int64))
 
     def gains(self, u: int) -> tuple[np.ndarray, np.ndarray]:
-        blocks = self.adjacent_blocks(u)
+        if not self._bulk:
+            blocks = self.adjacent_blocks(u)
+            cur = int(self._pgraph.partition[u])
+            cur_aff = self.affinity(u, cur)
+            gains = np.array(
+                [self.affinity(u, int(b)) - cur_aff for b in blocks.tolist()],
+                dtype=np.int64,
+            )
+            return blocks, gains
+        # bulk: one row read instead of a probe per adjacent block
+        lo, hi = self._range(u)
         cur = int(self._pgraph.partition[u])
-        cur_aff = self.affinity(u, cur)
-        gains = np.array(
-            [self.affinity(u, int(b)) - cur_aff for b in blocks.tolist()],
-            dtype=np.int64,
+        if self._dense[u]:
+            row = self._vals[lo:hi]
+            blocks = np.flatnonzero(row)
+            return blocks, row[blocks] - row[cur]
+        keys = self._keys[lo:hi]
+        mask = keys != self.EMPTY
+        blocks = keys[mask].astype(np.int64)
+        vals = self._vals[lo:hi][mask]
+        order = np.argsort(blocks, kind="stable")
+        blocks = blocks[order]
+        vals = vals[order]
+        j = int(np.searchsorted(blocks, cur))
+        cur_aff = int(vals[j]) if j < len(blocks) and blocks[j] == cur else 0
+        return blocks, vals - cur_aff
+
+    def gains_many(
+        self, us: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`gains`: gather every row of ``us`` in one pass."""
+        us = np.asarray(us, dtype=np.int64)
+        if len(us) == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e, e
+        lo = self._offsets[us]
+        cap = self._caps[us]
+        total = int(cap.sum())
+        owner = np.repeat(np.arange(len(us), dtype=np.int64), cap)
+        seg = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(cap) - cap, cap
         )
-        return blocks, gains
+        slots = np.repeat(lo, cap) + seg
+        vals = self._vals[slots]
+        dense_slot = np.repeat(self._dense[us], cap)
+        slot_keys = self._keys[slots]
+        # dense rows address blocks by slot position; hash rows by key
+        block = np.where(dense_slot, seg, slot_keys.astype(np.int64))
+        keep = np.where(dense_slot, vals != 0, slot_keys != self.EMPTY)
+        o, b, v = owner[keep], block[keep], vals[keep]
+        order = np.lexsort((b, o))
+        o, b, v = o[order], b[order], v[order]
+        return o, b, v - _current_affinities(self._pgraph.partition, us, o, b, v)
+
+    def affinities(self, us: np.ndarray, blocks: np.ndarray) -> np.ndarray:
+        """Batch-probe ``affinity(us[i], blocks[i])`` for every query pair."""
+        us = np.asarray(us, dtype=np.int64)
+        blocks = np.asarray(blocks, dtype=np.int64)
+        out = tracked_zeros(len(us), np.int64, name="gain-batch-affinity")
+        if len(us) == 0:
+            return out
+        dense = self._dense[us]
+        if np.any(dense):
+            d = np.flatnonzero(dense)
+            out[d] = self._vals[self._offsets[us[d]] + blocks[d]]
+        h = np.flatnonzero(~dense)
+        if len(h):
+            slots = batch_hash_probe(
+                self._keys,
+                self._offsets[us[h]],
+                self._caps[us[h]],
+                blocks[h],
+                empty=self.EMPTY,
+            )
+            hit = slots >= 0
+            out[h[hit]] = self._vals[slots[hit]]
+        return out
 
     def apply_move(self, u: int, src: int, dst: int) -> None:
         g = self._pgraph.graph
@@ -340,13 +497,18 @@ class SparseGainTable:
             self._aid = None
 
 
-def make_gain_table(kind, pgraph, tracker=None):
-    """Factory keyed by :class:`repro.core.config.GainTableKind` or str."""
+def make_gain_table(kind, pgraph, tracker=None, *, bulk: bool = True):
+    """Factory keyed by :class:`repro.core.config.GainTableKind` or str.
+
+    ``bulk`` selects the vectorized build/query paths where a table has
+    them (currently :class:`SparseGainTable`); the scalar paths stay as
+    the verify reference.
+    """
     name = getattr(kind, "value", kind)
     if name == "none":
         return NoGainTable(pgraph, tracker)
     if name == "full":
         return FullGainTable(pgraph, tracker)
     if name == "sparse":
-        return SparseGainTable(pgraph, tracker)
+        return SparseGainTable(pgraph, tracker, bulk=bulk)
     raise KeyError(f"unknown gain table kind {kind!r}")

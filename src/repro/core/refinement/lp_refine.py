@@ -15,6 +15,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.context import PartitionContext
+from repro.core.kernels import (
+    bulk_size_constrained_commit,
+    move_gains,
+    segment_best_last,
+)
 from repro.core.partition import PartitionedGraph
 from repro.graph.access import chunk_adjacency, segment_reduce_ratings
 from repro.verify.declarations import recorder_for
@@ -68,6 +73,7 @@ def _refine_round(
     runtime = ctx.runtime
     k = pgraph.k
     moves = 0
+    use_bulk = ctx.config.use_bulk_kernels
     for _tid, chunk in runtime.execute(sched, phase="lp-refinement"):
         owner, nbrs, wgts = chunk_adjacency(g, chunk)
         if len(owner) == 0:
@@ -78,13 +84,9 @@ def _refine_round(
             owner, part[nbrs].astype(np.int64), wgts, k
         )
         us = chunk[po]
-        cur = part[us].astype(np.int64)
-        is_current = pb == cur
-        # gain of moving owner to block pb = pr - affinity(current);
-        # compute current affinity per owner
-        cur_aff = np.zeros(len(chunk), dtype=np.int64)
-        cur_aff[po[is_current]] = pr[is_current]
-        gain = pr - cur_aff[po]
+        # gain of moving owner to block pb = pr - affinity(current block)
+        cur_of_owner = part[chunk].astype(np.int64)
+        gain, is_current = move_gains(po, pb, pr, cur_of_owner, len(chunk))
         fits = pgraph.block_weights[pb] + vwgt[us] <= max_block_weight[pb]
         ok = fits & ~is_current & (gain > 0)
         if not np.any(ok):
@@ -95,30 +97,50 @@ def _refine_round(
             )
             continue
         po2, pb2, g2 = po[ok], pb[ok], gain[ok]
-        ordc = np.lexsort((g2, po2))
-        last = np.empty(len(ordc), dtype=bool)
-        last[-1] = True
-        last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
-        best = ordc[last]
+        best = segment_best_last(po2, g2)
         runtime.record(
             "lp-refinement",
             work=float(len(owner)),
             bytes_moved=float(16 * len(owner)),
         )
-        moved: list[int] = []
-        touched_blocks: list[int] = []
-        for o, b in zip(po2[best].tolist(), pb2[best].tolist()):
-            u = int(chunk[o])
-            w = int(vwgt[u])
-            if pgraph.block_weights[b] + w > max_block_weight[b]:
-                continue
-            if rec.active:
-                moved.append(u)
-                touched_blocks.append(int(part[u]))
-                touched_blocks.append(b)
-            pgraph.move(u, int(b))
-            moves += 1
-        if rec.active and moved:
-            rec.atomic("partition", moved)
-            rec.atomic("block-weights", touched_blocks)
+        if use_bulk:
+            # bulk commit against the real block-weight array; the kernel
+            # replays contended blocks in order, so acceptance matches the
+            # scalar loop bit for bit
+            mv_us = chunk[po2[best]]
+            mv_tgt = pb2[best]
+            prevs = part[mv_us].astype(np.int64)
+            acc = bulk_size_constrained_commit(
+                mv_tgt,
+                prevs,
+                vwgt[mv_us],
+                pgraph.block_weights,
+                max_block_weight,
+            )
+            acc_us = mv_us[acc]
+            assert pgraph.k <= np.iinfo(np.int32).max
+            part[acc_us] = mv_tgt[acc].astype(np.int32)
+            moves += len(acc_us)
+            if rec.active and len(acc_us):
+                rec.atomic("partition", acc_us)
+                rec.atomic(
+                    "block-weights", np.concatenate([prevs[acc], mv_tgt[acc]])
+                )
+        else:
+            moved: list[int] = []
+            touched_blocks: list[int] = []
+            for o, b in zip(po2[best].tolist(), pb2[best].tolist()):
+                u = int(chunk[o])
+                w = int(vwgt[u])
+                if pgraph.block_weights[b] + w > max_block_weight[b]:
+                    continue
+                if rec.active:
+                    moved.append(u)
+                    touched_blocks.append(int(part[u]))
+                    touched_blocks.append(b)
+                pgraph.move(u, int(b))
+                moves += 1
+            if rec.active and moved:
+                rec.atomic("partition", moved)
+                rec.atomic("block-weights", touched_blocks)
     return moves

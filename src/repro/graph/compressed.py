@@ -41,10 +41,14 @@ from repro.graph.varint import (
     decode_stream_bulk,
     decode_varint,
     encode_signed_varint,
+    encode_stream_bulk,
     encode_varint,
+    varint_lengths,
     zigzag_decode,
+    zigzag_encode,
     MAX_VARINT64_BYTES,
 )
+from repro.memory.scratch import tracked_empty
 
 MIN_INTERVAL_LEN = 3
 
@@ -833,6 +837,176 @@ def encode_neighborhood(
         out.extend(scratch)
 
 
+def _encode_low_degree_bulk(
+    graph: CSRGraph, lows: np.ndarray, cfg: CompressionConfig, stats
+) -> tuple[bytes, np.ndarray]:
+    """Encode every low-degree neighborhood of ``lows`` in one bulk pass.
+
+    Builds the *global value sequence* -- per vertex: header, [interval
+    count], [interval pairs], [residual gaps], [weight gaps] -- with pure
+    array arithmetic, then VarInt-encodes all values at once.  Returns the
+    byte blob and the per-vertex byte starts (``len(lows) + 1`` entries),
+    byte-identical to per-vertex :func:`encode_neighborhood` calls.
+    """
+    nl = len(lows)
+    stats.num_neighborhoods += nl
+    if nl == 0:
+        return b"", np.zeros(1, dtype=np.int64)
+    indptr = np.asarray(graph.indptr)
+    deg = np.asarray(graph.degrees)[lows].astype(np.int64)
+    weighted = graph.has_edge_weights
+    tot = int(deg.sum())
+    row_ofs = np.cumsum(deg) - deg
+    owner = np.repeat(np.arange(nl, dtype=np.int64), deg)
+    pos_in_row = np.arange(tot, dtype=np.int64) - row_ofs[owner]
+    eidx = indptr[lows][owner] + pos_in_row
+    nb = np.asarray(graph.adjncy)[eidx].astype(np.int64)
+
+    # interval detection: maximal runs of consecutive IDs, len >= 3
+    if cfg.enable_intervals:
+        run_start = np.ones(tot, dtype=bool)
+        if tot > 1:
+            run_start[1:] = (owner[1:] != owner[:-1]) | (nb[1:] != nb[:-1] + 1)
+        run_id = np.cumsum(run_start) - 1
+        run_len = np.bincount(run_id)
+        is_iv_run = run_len >= MIN_INTERVAL_LEN
+        in_interval = is_iv_run[run_id] if tot else np.zeros(0, dtype=bool)
+        run_first = np.flatnonzero(run_start)
+        iv = np.flatnonzero(is_iv_run)
+        iv_left = nb[run_first[iv]]
+        iv_len = run_len[iv].astype(np.int64)
+        iv_owner = owner[run_first[iv]]
+        ni = np.bincount(iv_owner, minlength=nl).astype(np.int64)
+        stats.num_intervals += len(iv)
+        stats.num_interval_edges += int(iv_len.sum())
+    else:
+        in_interval = np.zeros(tot, dtype=bool)
+        iv_left = iv_len = iv_owner = np.empty(0, dtype=np.int64)
+        ni = np.zeros(nl, dtype=np.int64)
+
+    res = np.flatnonzero(~in_interval)
+    res_owner = owner[res]
+    res_nb = nb[res]
+    nr = np.bincount(res_owner, minlength=nl).astype(np.int64)
+
+    # value-sequence layout: header, [nint], [pairs], [residuals], [weights]
+    has_edges = deg > 0
+    count = np.ones(nl, dtype=np.int64)
+    if cfg.enable_intervals:
+        count += has_edges * (1 + 2 * ni)
+    count += nr
+    if weighted:
+        count += deg
+    val_start = np.cumsum(count) - count
+    nvals = int(val_start[-1] + count[-1])
+    vals = tracked_empty(nvals, np.int64, name="compress-bulk-values")
+
+    vals[val_start] = indptr[lows]  # headers: first edge IDs
+    if cfg.enable_intervals and np.any(has_edges):
+        vals[val_start[has_edges] + 1] = ni[has_edges]
+    if len(iv_owner):
+        iv_rank = (
+            np.arange(len(iv_owner), dtype=np.int64)
+            - (np.cumsum(ni) - ni)[iv_owner]
+        )
+        first_iv = iv_rank == 0
+        prev_end = np.empty_like(iv_left)
+        prev_end[0] = 0
+        prev_end[1:] = iv_left[:-1] + iv_len[:-1]
+        left_val = np.where(
+            first_iv,
+            zigzag_encode(iv_left - lows[iv_owner]),
+            iv_left - prev_end,
+        )
+        p = val_start[iv_owner] + 2 + 2 * iv_rank
+        vals[p] = left_val
+        vals[p + 1] = iv_len - MIN_INTERVAL_LEN
+    if len(res):
+        res_first = np.ones(len(res), dtype=bool)
+        res_first[1:] = res_owner[1:] != res_owner[:-1]
+        prev_res = np.empty_like(res_nb)
+        prev_res[0] = 0
+        prev_res[1:] = res_nb[:-1]
+        res_rank = (
+            np.arange(len(res), dtype=np.int64)
+            - (np.cumsum(nr) - nr)[res_owner]
+        )
+        res_pos = (
+            val_start[res_owner]
+            + (count - nr - (deg if weighted else 0))[res_owner]
+            + res_rank
+        )
+        vals[res_pos] = np.where(
+            res_first,
+            zigzag_encode(res_nb - lows[res_owner]),
+            res_nb - prev_res - 1,
+        )
+    w_pos = None
+    if weighted and tot:
+        adjwgt = np.asarray(graph.adjwgt)
+        w = adjwgt[eidx].astype(np.int64)
+        prev_w = np.where(pos_in_row == 0, 0, adjwgt[eidx - 1]).astype(
+            np.int64
+        )
+        w_pos = val_start[owner] + (count - deg)[owner] + pos_in_row
+        vals[w_pos] = zigzag_encode(w - prev_w)
+
+    lens = varint_lengths(vals)
+    byte_start = np.cumsum(lens) - lens
+    stats.header_bytes += int(lens[val_start].sum())
+    if w_pos is not None:
+        stats.weight_bytes += int(lens[w_pos].sum())
+    blob = encode_stream_bulk(vals, lens)
+    low_byte_start = tracked_empty(nl + 1, np.int64, name="compress-bulk-starts")
+    low_byte_start[:nl] = byte_start[val_start]
+    low_byte_start[nl] = int(lens.sum())
+    return blob.tobytes(), low_byte_start
+
+
+def _encode_graph_bulk(
+    graph: CSRGraph, cfg: CompressionConfig, stats
+) -> tuple[bytes, np.ndarray]:
+    """Whole-graph bulk encoder: low-degree vertices in one vectorized
+    pass, chunked high-degree vertices scalar, stitched in vertex order."""
+    n = graph.n
+    degrees = np.asarray(graph.degrees)
+    high = degrees > cfg.high_degree_threshold
+    lows = np.flatnonzero(~high)
+    offsets = tracked_empty(n + 1, np.int64, name="compress-offsets")
+    blob, low_byte_start = _encode_low_degree_bulk(graph, lows, cfg, stats)
+    if not np.any(high):
+        offsets[:n] = low_byte_start[:n]
+        offsets[n] = low_byte_start[n] if n else 0
+        return blob, offsets
+    weighted = graph.has_edge_weights
+    out = bytearray()
+    li = 0
+    for h in np.flatnonzero(high).tolist():
+        li2 = int(np.searchsorted(lows, h))
+        if li2 > li:
+            base = len(out) - int(low_byte_start[li])
+            offsets[lows[li:li2]] = base + low_byte_start[li:li2]
+            out += blob[int(low_byte_start[li]) : int(low_byte_start[li2])]
+            li = li2
+        offsets[h] = len(out)
+        nbrs, wgts = graph.neighbors_and_weights(h)
+        encode_neighborhood(
+            h,
+            nbrs,
+            np.asarray(wgts) if weighted else None,
+            int(graph.indptr[h]),
+            out,
+            cfg,
+            stats,
+        )
+    if li < len(lows):
+        base = len(out) - int(low_byte_start[li])
+        offsets[lows[li:]] = base + low_byte_start[li:-1]
+        out += blob[int(low_byte_start[li]) :]
+    offsets[n] = len(out)
+    return bytes(out), offsets
+
+
 def compress_graph(
     graph: CSRGraph,
     *,
@@ -840,11 +1014,14 @@ def compress_graph(
     high_degree_threshold: int = 10_000,
     chunk_length: int = 1_000,
     tracker=None,
+    bulk: bool = True,
 ) -> CompressedGraph:
-    """Compress a CSR graph (sequential reference path).
+    """Compress a CSR graph.
 
-    The parallel single-pass pipeline lives in
-    :mod:`repro.graph.compression`; both produce byte-identical output.
+    ``bulk`` selects the vectorized whole-graph encoder; ``bulk=False``
+    runs the per-vertex sequential reference path.  Both produce
+    byte-identical output (tested), as does the parallel single-pass
+    pipeline in :mod:`repro.graph.compression`.
     """
     if not graph.sorted_neighborhoods:
         graph = graph.with_sorted_neighborhoods()
@@ -855,23 +1032,26 @@ def compress_graph(
     )
     stats = CompressionStats(uncompressed_bytes=graph.nbytes)
     n = graph.n
-    out = bytearray()
-    offsets = np.empty(n + 1, dtype=np.int64)
     weighted = graph.has_edge_weights
-    for u in range(n):
-        offsets[u] = len(out)
-        nbrs, wgts = graph.neighbors_and_weights(u)
-        encode_neighborhood(
-            u,
-            nbrs,
-            np.asarray(wgts) if weighted else None,
-            int(graph.indptr[u]),
-            out,
-            cfg,
-            stats,
-        )
-    offsets[n] = len(out)
-    data = bytes(out)
+    if bulk:
+        data, offsets = _encode_graph_bulk(graph, cfg, stats)
+    else:
+        out = bytearray()
+        offsets = np.empty(n + 1, dtype=np.int64)
+        for u in range(n):
+            offsets[u] = len(out)
+            nbrs, wgts = graph.neighbors_and_weights(u)
+            encode_neighborhood(
+                u,
+                nbrs,
+                np.asarray(wgts) if weighted else None,
+                int(graph.indptr[u]),
+                out,
+                cfg,
+                stats,
+            )
+        offsets[n] = len(out)
+        data = bytes(out)
     stats.compressed_bytes = len(data) + offsets.nbytes
     vwgt = np.asarray(graph.vwgt).copy() if graph.has_vertex_weights else None
     cg = CompressedGraph(

@@ -56,6 +56,53 @@ def encode_varint(value: int, out: bytearray) -> int:
             return n
 
 
+# thresholds for exact encoded lengths: a value needs j+1 bytes iff
+# value >= 2**(7*j); int64 non-negative values top out at 9 bytes
+_LEN_THRESHOLDS = np.int64(1) << (7 * np.arange(1, 9, dtype=np.int64))
+
+
+def varint_lengths(values: np.ndarray) -> np.ndarray:
+    """Exact per-value encoded byte counts (vectorized :func:`varint_len`)."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and values.min() < 0:
+        raise ValueError("varint cannot encode negative values")
+    return np.searchsorted(_LEN_THRESHOLDS, values, side="right") + 1
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Vectorized sign fold of :func:`encode_signed_varint` (bit 0 = sign)."""
+    values = np.asarray(values, dtype=np.int64)
+    return np.where(values < 0, ((-values) << 1) | 1, values << 1)
+
+
+def encode_stream_bulk(
+    values: np.ndarray, lengths: np.ndarray | None = None
+) -> np.ndarray:
+    """VarInt-encode every element of ``values`` into one uint8 array.
+
+    Byte-parallel counterpart of :func:`encode_stream`: one scatter pass
+    per byte of the longest value present (typically 1-2) writes the j-th
+    byte of every value still needing one.  Byte-identical to the scalar
+    encoder.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    if lengths is None:
+        lengths = varint_lengths(values)
+    starts = np.cumsum(lengths) - lengths
+    total = int(starts[-1] + lengths[-1])
+    out = tracked_empty(total, np.uint8, name="varint-encode-bytes")
+    for j in range(int(lengths.max())):
+        sel = np.flatnonzero(lengths > j)
+        payload = (values[sel] >> (7 * j)) & 0x7F
+        cont = np.where(lengths[sel] > j + 1, 0x80, 0)
+        byte = payload | cont
+        assert int(byte.max()) <= 0xFF  # 7 payload bits + continuation bit
+        out[starts[sel] + j] = byte.astype(np.uint8)
+    return out
+
+
 def decode_varint(buf, pos: int) -> tuple[int, int]:
     """Decode a VarInt at ``buf[pos:]``; return ``(value, new_pos)``."""
     result = 0

@@ -42,6 +42,8 @@ KNOWN_PHASES = frozenset(
         "clustering-2p",
         "clustering-classic",
         "contraction",
+        "contraction-aggregate",  # bulk-kernel sub-phase of contraction
+        "gain-table-build",  # bulk-kernel sub-phase of FM refinement
         "initial-partitioning",
         "refinement",
         "lp-refinement",

@@ -1,0 +1,12 @@
+"""Known-bad kernel sub-phase spans: names one typo away from the bulk
+kernel vocabulary (``contraction-aggregate``, ``gain-table-build``) must
+still be PH001 errors -- extending KNOWN_PHASES must not loosen the gate."""
+
+
+def bad_kernel_spans(ktracer):
+    with ktracer.span("contraction-agregate"):  # PH001: typo
+        pass
+    with ktracer.span("gain-table-built"):  # PH001: typo
+        pass
+    with ktracer.span("gain-table-build-fast"):  # PH001: invented variant
+        pass

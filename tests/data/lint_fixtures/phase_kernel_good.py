@@ -1,0 +1,12 @@
+"""Known-good kernel sub-phase spans: the bulk-kernel vocabulary added to
+KNOWN_PHASES, spelled exactly, including per-round suffixes that
+``normalize_phase`` strips."""
+
+
+def good_kernel_spans(ktracer, rnd):
+    with ktracer.span("contraction-aggregate"):
+        pass
+    with ktracer.span("gain-table-build"):
+        pass
+    with ktracer.span(f"contraction-aggregate-round{rnd}"):
+        pass

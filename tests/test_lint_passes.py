@@ -123,6 +123,24 @@ class TestPhaseDiscipline:
             ("PH003", 9),
         }
 
+    def test_kernel_subphase_vocabulary_clean(self):
+        """The bulk-kernel sub-phase names added to KNOWN_PHASES pass,
+        including per-round suffixes."""
+        assert lint_one(FIXTURES / "phase_kernel_good.py") == []
+
+    def test_unknown_kernel_subphase_still_flagged(self):
+        """Extending KNOWN_PHASES with the kernel sub-phases must not
+        loosen PH001: near-miss spellings stay errors."""
+        findings = lint_one(
+            FIXTURES / "phase_kernel_bad.py", "phase-discipline"
+        )
+        assert codes_at(findings) == {
+            ("PH001", 7),
+            ("PH001", 9),
+            ("PH001", 11),
+        }
+        assert all(f.code == "PH001" and f.severity == "error" for f in findings)
+
 
 # --------------------------------------------------------------------- #
 # suppressions and baseline mechanics
