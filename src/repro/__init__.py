@@ -24,7 +24,7 @@ The main entry points:
   figure of the paper.
 """
 
-from repro.core import PartitionedGraph, PartitionResult, partition
+from repro.core import PartitionedGraph, PartitionResult, partition, refine_partition
 from repro.core import config
 from repro.memory import MemoryTracker
 from repro.parallel import ParallelRuntime
@@ -35,6 +35,7 @@ __all__ = [
     "PartitionedGraph",
     "PartitionResult",
     "partition",
+    "refine_partition",
     "config",
     "MemoryTracker",
     "ParallelRuntime",

@@ -8,10 +8,14 @@ Commands mirror how the original KaMinPar/TeraPart binaries are driven:
   and report ratios (gap-only vs gap+interval).
 * ``generate``   -- synthesize a benchmark graph to a file.
 * ``stats``      -- print n / m / degree / locality statistics.
+* ``serve``      -- run the long-lived partitioning service: an HTTP front
+  end with admission batching, a byte-budgeted LRU cache, and incremental
+  (warm-start) repartitioning under graph deltas.
 * ``bench``      -- the regression observatory: ``record`` a run matrix
   into the append-only run database, capture a named ``baseline``,
-  ``compare`` candidate runs against it (with ``--gate`` for CI), and
-  render sparkline ``trend`` lines from the database history.
+  ``compare`` candidate runs against it (with ``--gate`` for CI),
+  ``service`` to replay the serving trace benchmark, and render
+  sparkline ``trend`` lines from the database history.
 
 Examples::
 
@@ -24,6 +28,8 @@ Examples::
         --out benchmarks/baselines/smoke.json
     python -m repro bench compare --baseline benchmarks/baselines/smoke.json \
         --db runs.jsonl --gate
+    python -m repro serve --graph web=g.bin --port 8642
+    python -m repro bench service --suite smoke --db runs.jsonl
 """
 
 from __future__ import annotations
@@ -261,27 +267,47 @@ def cmd_bench_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kinds(args: argparse.Namespace) -> tuple[str, ...]:
+    kinds = getattr(args, "kinds", None)
+    return tuple(kinds.split(",")) if kinds else ("partition",)
+
+
 def _candidate_records(args: argparse.Namespace) -> list[dict]:
     from repro.obs.regress.rundb import RunDB, latest_per_key, run_key
 
     db = RunDB(args.db)
-    records = db.query(
-        kind="partition",
-        label=args.label,
-        bench=getattr(args, "suite", None),
-    )
+    kinds = _kinds(args)
+    suite = getattr(args, "suite", None)
+    # service records are stamped bench="service-<suite>" (they replay a
+    # trace over the suite's instances, they are not the suite itself)
+    benches = {suite, f"service-{suite}"} if suite else {None}
+    records = [
+        r
+        for r in db.query(label=args.label)
+        if r.get("kind") in kinds
+        and (suite is None or r.get("bench") in benches)
+    ]
     # append order is chronological: keep the freshest run per identity
     return latest_per_key(records, run_key)
 
 
 def cmd_bench_baseline(args: argparse.Namespace) -> int:
-    from repro.obs.regress.compare import capture_baseline
-    from repro.obs.regress.rundb import environment_stamp
+    from repro.obs.regress.compare import DEFAULT_METRICS, capture_baseline
+    from repro.obs.regress.rundb import SERVICE_METRICS, environment_stamp
 
+    kinds = _kinds(args)
     records = _candidate_records(args)
     if not records:
-        raise SystemExit(f"no partition records in {args.db} match the filter")
-    base = capture_baseline(records, args.name, env=environment_stamp())
+        raise SystemExit(
+            f"no {'/'.join(kinds)} records in {args.db} match the filter"
+        )
+    metrics = DEFAULT_METRICS + ("imbalance",)
+    if "service" in kinds:
+        metrics = metrics + SERVICE_METRICS
+    base = capture_baseline(
+        records, args.name, env=environment_stamp(), metrics=metrics,
+        kinds=kinds,
+    )
     base.save(args.out)
     n_seeds = {len(g["seeds"]) for g in base.groups.values()}
     print(
@@ -298,19 +324,23 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         CompareThresholds,
         compare,
     )
-    from repro.obs.regress.rundb import RunDB
+    from repro.obs.regress.rundb import SERVICE_METRICS, RunDB
 
     baseline = Baseline.load(args.baseline)
+    kinds = _kinds(args)
     candidates = _candidate_records(args)
     if not candidates:
         raise SystemExit(f"no candidate records in {args.db} match the filter")
     thresholds = CompareThresholds()
     if args.metrics:
         metrics = tuple(args.metrics.split(","))
+    elif kinds == ("service",):
+        metrics = SERVICE_METRICS
     else:
         metrics = ("cut", "peak_bytes", "wall_seconds")
     result = compare(
-        baseline, candidates, metrics=metrics, thresholds=thresholds
+        baseline, candidates, metrics=metrics, kinds=kinds,
+        thresholds=thresholds,
     )
     trends = R.trend_lines(RunDB(args.db).load(), metric=metrics[0])
     md = R.render_markdown(
@@ -385,6 +415,102 @@ def _write_attrib_diff(path, baseline, candidates, label) -> None:
         "deltas": deltas,
     }
     Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def cmd_bench_service(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import render_table
+    from repro.bench.service import run_service_bench
+    from repro.core.config import ServeConfig
+    from repro.obs.regress.rundb import RunDB
+
+    cfg = C.preset(args.preset, p=args.threads).with_(epsilon=args.epsilon)
+    serve_cfg = ServeConfig(
+        drift_threshold=args.drift_threshold,
+        warm_start=not args.no_warm_start,
+    )
+    instances = _bench_instances(args)
+    db = RunDB(args.db)
+    records = run_service_bench(
+        tuple(instances),
+        tuple(args.k),
+        tuple(args.seeds),
+        config=cfg,
+        serve_config=serve_cfg,
+        rundb=db,
+        bench=f"service-{args.suite}",
+        label=args.label,
+        progress=True,
+    )
+    rows = []
+    for rec in records:
+        run = rec["run"]
+        rows.append(
+            (
+                run["instance"],
+                run["k"],
+                run["seed"],
+                f"{run['p50_seconds'] * 1e3:.1f}ms",
+                f"{run['p99_seconds'] * 1e3:.1f}ms",
+                f"{run['warm_over_full']:.3f}",
+                f"{run['cut_overhead']:.3f}",
+                f"{run['cache_hit_rate']:.2f}",
+            )
+        )
+    print(
+        render_table(
+            ["instance", "k", "seed", "p50", "p99", "warm/full",
+             "cut ovhd", "hit rate"],
+            rows,
+            title=f"recorded {len(records)} service traces -> {args.db}"
+            + (f" (label {args.label})" if args.label else ""),
+        )
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.config import ServeConfig
+    from repro.serve.http import serve_forever
+    from repro.serve.service import PartitionService
+
+    cfg = C.preset(args.preset, p=args.threads, epsilon=args.epsilon)
+    serve_cfg = ServeConfig(
+        cache_budget_bytes=int(args.cache_budget_mb * 1024 * 1024),
+        drift_threshold=args.drift_threshold,
+        warm_start=not args.no_warm_start,
+    )
+
+    async def _main() -> None:
+        service = await PartitionService.create(cfg, serve_cfg)
+        for spec in args.graph or []:
+            name, _, path = spec.partition("=")
+            if not path:
+                path, name = name, Path(name).stem
+            g = _load_graph(path)
+            fp = await service.register_graph(name, g)
+            print(f"registered {name}: n={g.n} m={g.m} fingerprint={fp}")
+        for iname in args.instance or []:
+            from repro.bench.instances import load_instance
+
+            g = load_instance(iname)
+            fp = await service.register_graph(iname, g)
+            print(f"registered {iname}: n={g.n} m={g.m} fingerprint={fp}")
+        await serve_forever(
+            service,
+            host=args.host,
+            port=args.port,
+            ready_callback=lambda addr: print(
+                f"serving on http://{addr[0]}:{addr[1]}", flush=True
+            ),
+        )
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
 
 
 def cmd_bench_trend(args: argparse.Namespace) -> int:
@@ -517,6 +643,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
+        "serve",
+        help="long-lived partitioning service: HTTP front end with "
+        "admission batching, a byte-budgeted cache, and incremental "
+        "(warm-start) repartitioning under graph deltas (DESIGN.md §11)",
+    )
+    p.add_argument(
+        "--graph",
+        action="append",
+        default=None,
+        metavar="NAME=PATH",
+        help="register a graph file under NAME (repeatable; bare PATH "
+        "uses the file stem as the name)",
+    )
+    p.add_argument(
+        "--instance",
+        action="append",
+        default=None,
+        help="register a named benchmark instance (repeatable)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--preset", default="terapart", choices=sorted(C.PRESETS))
+    p.add_argument("--epsilon", type=float, default=0.03)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument(
+        "--cache-budget-mb",
+        type=float,
+        default=256.0,
+        help="byte budget of the graph/partition LRU cache",
+    )
+    p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.25,
+        help="cumulative drift fraction forcing a full repartition",
+    )
+    p.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable incremental repartitioning (every run full)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
         "bench",
         help="regression observatory: record runs, baseline, compare, trend",
     )
@@ -568,9 +738,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bp = bench_sub.add_parser(
+        "service",
+        help="replay the serving trace over a suite and append "
+        "service-kind records to the DB",
+    )
+    _common_db_args(bp)
+    bp.add_argument(
+        "--preset", default="terapart", choices=sorted(C.PRESETS)
+    )
+    bp.add_argument(
+        "--instances",
+        nargs="+",
+        default=None,
+        help="restrict the suite to these instance names",
+    )
+    bp.add_argument("-k", type=int, nargs="+", default=[8])
+    bp.add_argument("--seeds", type=int, nargs="+", default=[0])
+    bp.add_argument("--threads", type=int, default=8)
+    bp.add_argument("--epsilon", type=float, default=0.03)
+    bp.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.25,
+        help="cumulative drift fraction forcing a full repartition",
+    )
+    bp.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable incremental repartitioning (every run full)",
+    )
+    bp.set_defaults(func=cmd_bench_service)
+
+    bp = bench_sub.add_parser(
         "baseline", help="capture a named baseline from recorded runs"
     )
     _common_db_args(bp)
+    bp.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated record kinds (default: partition; "
+        "use 'service' for serving baselines)",
+    )
     bp.add_argument("--name", required=True, help="baseline name")
     bp.add_argument(
         "--out",
@@ -589,9 +797,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline", required=True, help="baseline JSON captured earlier"
     )
     bp.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated record kinds (default: partition; "
+        "use 'service' to gate serving benchmarks)",
+    )
+    bp.add_argument(
         "--metrics",
         default=None,
-        help="comma-separated metric list (default: cut,peak_bytes,wall_seconds)",
+        help="comma-separated metric list (default: cut,peak_bytes,"
+        "wall_seconds; service kind: p50/p99/warm_over_full/cut_overhead)",
     )
     bp.add_argument(
         "--gate",

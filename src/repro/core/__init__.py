@@ -18,7 +18,7 @@ measured in the paper:
 from repro.core.config import CoarseningConfig, FMConfig, GainTableKind, PartitionerConfig
 from repro.core.metrics import PartitionMetrics, compute_metrics
 from repro.core.partition import PartitionedGraph
-from repro.core.partitioner import PartitionResult, partition
+from repro.core.partitioner import PartitionResult, partition, refine_partition
 from repro.core.portfolio import PortfolioResult, partition_portfolio
 
 __all__ = [
@@ -33,4 +33,5 @@ __all__ = [
     "PortfolioResult",
     "partition",
     "partition_portfolio",
+    "refine_partition",
 ]

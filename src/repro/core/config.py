@@ -123,6 +123,40 @@ class InitialPartitioningConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the long-lived partitioning service (``repro serve``).
+
+    Deliberately *not* a field of :class:`PartitionerConfig`: the service
+    wraps a partitioner variant rather than changing what it computes, so
+    serving knobs must not perturb :func:`config_digest` — cache entries
+    and run-DB groups keyed by the digest stay comparable whether the run
+    came from the service or from a one-shot CLI invocation.
+    """
+
+    # byte budget of the LRU cache holding compressed graphs, finished
+    # partitions, and warm-start seeds (tracked via the MemoryTracker
+    # ledger under category "serve-cache")
+    cache_budget_bytes: int = 256 * 1024 * 1024
+    # incremental repartitioning: cumulative fraction of (directed) edges
+    # changed since the last full run above which a request falls back to
+    # a full repartition instead of a refinement-only warm start
+    drift_threshold: float = 0.25
+    # extra LP refinement rounds for warm starts (on top of the config's
+    # lp_refinement_rounds) — drifted partitions need a little more work
+    # than a freshly projected level
+    warm_extra_lp_rounds: int = 2
+    # disable to force every request down the full-repartition path
+    # (used by benchmarks to measure the warm-start speedup)
+    warm_start: bool = True
+    # admission batching: how long (seconds) a worker waits to coalesce
+    # further same-key requests after pulling one from the queue; 0 still
+    # coalesces everything that is already queued or in flight
+    batch_window_seconds: float = 0.0
+    # bound of the latency reservoir behind the p50/p99 gauges
+    latency_reservoir: int = 4096
+
+
+@dataclass(frozen=True)
 class PartitionerConfig:
     """Full configuration of one partitioner variant."""
 

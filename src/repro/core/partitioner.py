@@ -190,6 +190,95 @@ def partition(
     )
 
 
+def refine_partition(
+    graph,
+    k: int,
+    partition_in,
+    config: PartitionerConfig | None = None,
+    *,
+    tracker: MemoryTracker | None = None,
+    runtime: ParallelRuntime | None = None,
+    extra_lp_rounds: int = 0,
+) -> PartitionResult:
+    """Warm-start: refine an existing assignment instead of repartitioning.
+
+    This is the multilevel warm start the serving layer uses for
+    incremental repartitioning: ``partition_in`` (typically the previous
+    result on a slightly drifted graph) is treated as the projected
+    finest-level partition, and only the refinement stack runs — rebalance,
+    LP refinement (plus FM when the config enables it), rebalance.  The
+    whole coarsening hierarchy, initial partitioning, and input compression
+    are skipped, which is where the warm-start speedup comes from.
+
+    ``graph`` may be CSR or compressed; ``partition_in`` must assign all
+    ``graph.n`` vertices to blocks in ``[0, k)``.  Returns a full
+    :class:`PartitionResult` with ``num_levels == 0``.
+    """
+    config = config or terapart()
+    tracker = tracker if tracker is not None else MemoryTracker()
+    dbg = config.debug
+    runtime = runtime or ParallelRuntime(
+        config.p,
+        schedule_policy=dbg.schedule_policy,
+        schedule_seed=dbg.schedule_seed,
+    )
+    obs_cfg = config.obs
+    tracer = SpanTracer(tracker) if obs_cfg.enabled else NULL_TRACER
+    ctx = PartitionContext(
+        config=config,
+        k=k,
+        total_vertex_weight=graph.total_vertex_weight,
+        tracker=tracker,
+        runtime=runtime,
+        tracer=tracer,
+    )
+    t0 = time.perf_counter()
+    part = np.ascontiguousarray(partition_in, dtype=np.int32)
+    try:
+        with ctx.phase("partition"):
+            input_aid = tracker.alloc("input-graph", graph.nbytes, "graph")
+            pgraph = PartitionedGraph(graph, k, part.copy())
+            lmax = max_block_weight(
+                graph.total_vertex_weight, k, config.epsilon
+            )
+            rounds = config.lp_refinement_rounds + max(0, extra_lp_rounds)
+            with ctx.phase("refinement-level0", level=0):
+                rebalance(pgraph, lmax, tracer=tracer)
+                lp_refine(pgraph, ctx, lmax, rounds=rounds)
+                if config.use_fm:
+                    if config.fm.localized:
+                        fm_refine_localized(
+                            pgraph, ctx, lmax, max_region=config.fm.max_region
+                        )
+                    else:
+                        fm_refine(pgraph, ctx, lmax)
+                rebalance(pgraph, lmax, tracer=tracer)
+            tracker.free(input_aid)
+    finally:
+        if obs_cfg.enabled:
+            tracer.finish()
+    wall = time.perf_counter() - t0
+    model = CostModel()
+    modeled = model.total_time(runtime.all_stats(), runtime.p)
+    cut = pgraph.cut_weight()
+    half_tew = pgraph.graph.total_edge_weight // 2
+    return PartitionResult(
+        pgraph=pgraph,
+        cut=cut,
+        cut_fraction=cut / half_tew if half_tew else 0.0,
+        imbalance=pgraph.imbalance(),
+        balanced=pgraph.is_balanced(config.epsilon),
+        wall_seconds=wall,
+        modeled_seconds=modeled,
+        peak_bytes=tracker.peak_bytes,
+        memory=MemoryReport.from_tracker(tracker),
+        num_levels=0,
+        config_name=config.name,
+        phase_stats={name: s for name, s in runtime.all_stats().items()},
+        trace=tracer if obs_cfg.enabled else None,
+    )
+
+
 def _partition_phases(graph, k, config, ctx, inv, checks_run):
     """The multilevel pipeline proper, scoped by ledger phases + obs spans."""
     tracker = ctx.tracker

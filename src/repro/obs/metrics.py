@@ -110,6 +110,23 @@ class MetricsRegistry:
         return reg
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_counters(
+        cls, counters: dict, *, meta: dict | None = None
+    ) -> "MetricsRegistry":
+        """Registry holding bare counters, no span tree.
+
+        Long-lived processes (the ``repro serve`` front end) accumulate
+        gauges across many partitioner runs; this wraps such a counter
+        snapshot in the same schema :meth:`from_run` produces, so every
+        consumer of a ``BENCH_*.json`` / run-DB ``obs`` section reads
+        service telemetry without a second code path.
+        """
+        return cls(
+            counters={k: _num(v) for k, v in sorted(counters.items())},
+            meta=dict(meta or {}),
+        )
+
     def to_dict(self) -> dict:
         return {
             "schema": SCHEMA_VERSION,

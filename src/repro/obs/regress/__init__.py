@@ -25,6 +25,8 @@ from repro.obs.regress.attrib import (
     phase_profile,
 )
 from repro.obs.regress.compare import (
+    DEFAULT_KINDS,
+    DEFAULT_METRICS,
     Baseline,
     CompareReport,
     CompareThresholds,
@@ -42,18 +44,23 @@ from repro.obs.regress.report import (
 )
 from repro.obs.regress.rundb import (
     RUNDB_SCHEMA,
+    SERVICE_METRICS,
     RunDB,
     default_rundb,
     environment_stamp,
     latest_per_key,
     make_microbench_record,
     make_record,
+    make_service_record,
     migrate_record,
     run_key,
 )
 
 __all__ = [
+    "DEFAULT_KINDS",
+    "DEFAULT_METRICS",
     "RUNDB_SCHEMA",
+    "SERVICE_METRICS",
     "Baseline",
     "CompareReport",
     "CompareThresholds",
@@ -72,6 +79,7 @@ __all__ = [
     "latest_per_key",
     "make_microbench_record",
     "make_record",
+    "make_service_record",
     "microbench_trend_lines",
     "migrate_record",
     "phase_profile",

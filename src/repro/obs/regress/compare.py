@@ -43,7 +43,16 @@ DEFAULT_NEUTRAL_BANDS = {
     "peak_bytes": 0.02,
     "modeled_seconds": 0.05,
     "wall_seconds": 0.25,
+    # service-kind metrics: latency quantiles are wall-clock (noisy, wide
+    # bands like wall_seconds); cut_overhead is a quality ratio (tight)
+    "p50_seconds": 0.25,
+    "p99_seconds": 0.30,
+    "warm_over_full": 0.25,
+    "cut_overhead": 0.02,
 }
+
+#: record kinds the baseline/compare machinery consumes by default
+DEFAULT_KINDS = ("partition",)
 
 
 @dataclass(frozen=True)
@@ -123,13 +132,16 @@ def capture_baseline(
     *,
     env: dict | None = None,
     metrics: tuple[str, ...] = DEFAULT_METRICS + ("imbalance",),
+    kinds: tuple[str, ...] = DEFAULT_KINDS,
     timestamp: float | None = None,
 ) -> Baseline:
-    """Snapshot partition-kind run-DB records into a named baseline.
+    """Snapshot run-DB records of the given ``kinds`` into a named baseline.
 
     The raw obs registries are condensed to per-phase profiles at capture
     time, so a committed baseline stays a few KB however long the runs
-    traced."""
+    traced.  ``service``-kind records carry their gated metrics flat in
+    the ``run`` section and no ``balanced`` flag; metrics a record lacks
+    are simply absent from its group."""
     base = Baseline(
         name=name,
         env=env if env is not None else {},
@@ -137,21 +149,26 @@ def capture_baseline(
     )
     by_key: dict[str, list[dict]] = {}
     for rec in records:
-        if rec.get("kind") != "partition":
+        if rec.get("kind") not in kinds:
             continue
         by_key.setdefault(group_key(rec["run"]), []).append(rec)
     for key, recs in sorted(by_key.items()):
         recs = sorted(recs, key=lambda r: r["run"]["seed"])
         run0 = recs[0]["run"]
+        group_metrics = {}
+        for m in metrics:
+            vals = [float(r["run"][m]) for r in recs if m in r["run"]]
+            if vals:
+                group_metrics[m] = vals
         base.groups[key] = {
             "algorithm": run0["algorithm"],
             "instance": run0["instance"],
             "k": run0["k"],
             "seeds": [r["run"]["seed"] for r in recs],
-            "metrics": {
-                m: [float(r["run"][m]) for r in recs] for m in metrics
-            },
-            "balanced": [bool(r["run"]["balanced"]) for r in recs],
+            "metrics": group_metrics,
+            "balanced": [
+                bool(r["run"].get("balanced", True)) for r in recs
+            ],
             "profile": aggregate_profiles(
                 phase_profile(r["obs"]) for r in recs if r.get("obs")
             ),
@@ -295,6 +312,7 @@ def compare(
     candidate_records: list[dict],
     *,
     metrics: tuple[str, ...] = DEFAULT_METRICS,
+    kinds: tuple[str, ...] = DEFAULT_KINDS,
     thresholds: CompareThresholds | None = None,
     attribute_regressions: bool = True,
 ) -> CompareReport:
@@ -307,7 +325,7 @@ def compare(
 
     cand_by_key: dict[str, list[dict]] = {}
     for rec in candidate_records:
-        if rec.get("kind") != "partition":
+        if rec.get("kind") not in kinds:
             continue
         cand_by_key.setdefault(group_key(rec["run"]), []).append(rec)
 

@@ -27,7 +27,7 @@ import time
 from collections.abc import Callable, Iterable
 from pathlib import Path
 
-RUNDB_SCHEMA = 2
+RUNDB_SCHEMA = 3
 
 #: metrics of a partition-kind record, in report order
 PARTITION_METRICS = (
@@ -36,6 +36,16 @@ PARTITION_METRICS = (
     "modeled_seconds",
     "peak_bytes",
     "imbalance",
+)
+
+#: gated metrics of a service-kind record (all lower-is-better): request
+#: latency quantiles, warm-start compute relative to a full repartition,
+#: and the warm-start quality overhead (warm cut / from-scratch cut)
+SERVICE_METRICS = (
+    "p50_seconds",
+    "p99_seconds",
+    "warm_over_full",
+    "cut_overhead",
 )
 
 
@@ -133,6 +143,48 @@ def make_record(
     return rec
 
 
+def make_service_record(
+    bench: str,
+    *,
+    algorithm: str,
+    instance: str,
+    k: int,
+    seed: int,
+    metrics: dict,
+    label: str | None = None,
+    config=None,
+    obs: dict | None = None,
+    env: dict | None = None,
+    timestamp: float | None = None,
+) -> dict:
+    """Stamp one replayed-trace service benchmark into a v3 DB record.
+
+    Service records carry the same (algorithm, instance, k, seed) identity
+    as partition records so the baseline/compare machinery groups them
+    identically — but the ``run`` payload is the flat service metric dict
+    (latency quantiles, hit rates, warm-vs-full ratios) a trace replay
+    produced, and ``obs`` holds the service's counter-only metrics
+    registry snapshot.
+    """
+    return {
+        "schema": RUNDB_SCHEMA,
+        "kind": "service",
+        "bench": bench,
+        "label": label,
+        "recorded_unix": time.time() if timestamp is None else timestamp,
+        "env": env if env is not None else environment_stamp(),
+        "config": config_stamp(config) if config is not None else None,
+        "run": {
+            "algorithm": algorithm,
+            "instance": instance,
+            "k": int(k),
+            "seed": int(seed),
+            **{str(m): v for m, v in metrics.items()},
+        },
+        "obs": obs,
+    }
+
+
 def make_microbench_record(
     bench: str,
     metrics: dict,
@@ -164,7 +216,11 @@ def migrate_record(rec: dict) -> dict:
     * schema 0 (unversioned): the flat metric dicts the decode hot-path
       bench appended to ``BENCH_decode.json`` before the observatory
       existed.  They become ``microbench`` records with unknown provenance.
-    * schema 2: current; missing optional fields are filled with defaults.
+    * schema 2: pre-service records (kinds ``partition``/``microbench``
+      only); identical layout, so migration just fills optional fields and
+      restamps the version.
+    * schema 3: current; adds the ``service`` record kind (replayed-trace
+      serving benchmarks, :func:`make_service_record`).
 
     Records from a *future* schema raise — refusing to silently reinterpret
     data written by newer code.

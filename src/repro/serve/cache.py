@@ -1,0 +1,178 @@
+"""Byte-budgeted LRU cache for the partitioning service.
+
+Holds heterogeneous entries — compressed graphs, finished partitions,
+warm-start seeds — each charged at its real byte size.  Eviction is
+strict LRU over the shared budget, so one giant graph can push out many
+small partitions and vice versa; the service's correctness never depends
+on residency (a miss merely costs a recompute).
+
+Every resident byte is registered with the :class:`MemoryTracker` ledger
+under the ``serve-cache`` category, so the obs memory waterfall of a
+serving process shows cache residency next to the partitioner's own
+working set, and a leak (bytes left registered after eviction or
+:meth:`clear`) is caught by the same ``assert_empty`` discipline the
+core uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.memory.tracker import MemoryTracker
+
+
+@dataclass
+class CacheStats:
+    """Monotone counters; ``resident_bytes``/``entries`` are gauges."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    rejected: int = 0  # entries larger than the whole budget
+    resident_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+            "resident_bytes": self.resident_bytes,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _Entry:
+    __slots__ = ("value", "nbytes", "aid")
+
+    def __init__(self, value, nbytes: int, aid: int):
+        self.value = value
+        self.nbytes = nbytes
+        self.aid = aid
+
+
+class ByteLRUCache:
+    """LRU mapping of hashable keys to values with explicit byte sizes."""
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        *,
+        tracker: MemoryTracker | None = None,
+        category: str = "serve-cache",
+    ) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.budget_bytes = int(budget_bytes)
+        self._tracker = tracker if tracker is not None else MemoryTracker()
+        self._category = category
+        self._entries: OrderedDict[object, _Entry] = OrderedDict()
+        self.stats = CacheStats()
+        # the service touches the cache from the event-loop thread and the
+        # partitioner executor thread; every public op holds this lock
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    def get(self, key):
+        """Return the cached value or ``None``; a hit refreshes recency."""
+        with self._lock:
+            e = self._entries.get(key)
+            if e is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return e.value
+
+    def peek(self, key):
+        """Like :meth:`get` but touches neither recency nor hit counters."""
+        with self._lock:
+            e = self._entries.get(key)
+            return None if e is None else e.value
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries.keys())
+
+    # ------------------------------------------------------------------ #
+    def put(self, key, value, nbytes: int) -> bool:
+        """Insert (or replace) an entry; returns False if it can never fit."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                # an entry bigger than the whole cache: drop on the floor
+                # rather than flushing everything for a value that still
+                # cannot be kept
+                self.stats.rejected += 1
+                return False
+            if key in self._entries:
+                self._drop(key, evicted=False)
+            self._evict_down_to(self.budget_bytes - nbytes)
+            aid = self._tracker.alloc(
+                f"serve-cache:{key}", nbytes, self._category
+            )
+            self._entries[key] = _Entry(value, nbytes, aid)
+            self.stats.insertions += 1
+            self.stats.resident_bytes += nbytes
+            self.stats.entries += 1
+            return True
+
+    def invalidate(self, key) -> bool:
+        """Drop one entry if present (not counted as an eviction)."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            self._drop(key, evicted=False)
+            return True
+
+    def invalidate_where(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``."""
+        with self._lock:
+            doomed = [k for k in self._entries if predicate(k)]
+            for k in doomed:
+                self._drop(k, evicted=False)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            for k in list(self._entries):
+                self._drop(k, evicted=False)
+
+    # ------------------------------------------------------------------ #
+    def _drop(self, key, *, evicted: bool) -> None:
+        e = self._entries.pop(key)
+        self._tracker.free(e.aid)
+        self.stats.resident_bytes -= e.nbytes
+        self.stats.entries -= 1
+        if evicted:
+            self.stats.evictions += 1
+
+    def _evict_down_to(self, limit: int) -> None:
+        while self._entries and self.stats.resident_bytes > limit:
+            oldest = next(iter(self._entries))
+            self._drop(oldest, evicted=True)
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.stats.resident_bytes

@@ -1,0 +1,242 @@
+"""Graph deltas: the mutation unit of incremental repartitioning.
+
+A :class:`GraphDelta` is a batch of edge insertions/removals plus
+optional vertex-weight updates and vertex additions.  The service
+applies deltas to the *finest* level only (the multilevel hierarchy is
+never patched — a warm start re-runs refinement on the new finest graph
+from the previous assignment), and accumulates the number of actually
+changed edges into the drift counter that decides warm start vs full
+repartition.
+
+Semantics, chosen so a delta can never produce an invalid graph:
+
+* self-loops in ``add_edges`` are rejected;
+* adding an existing edge *replaces* its weight (an idempotent update);
+* removing an absent edge is a no-op (and does not count as drift);
+* vertex-weight updates replace the weight (must stay positive);
+* ``add_vertices`` appends isolated vertices of unit weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+
+
+def _as_edge_array(edges) -> np.ndarray:
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"edges must have shape (e, 2), got {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One batch of mutations against a CSR graph."""
+
+    add_edges: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+    add_weights: np.ndarray | None = None
+    remove_edges: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 2), dtype=np.int64)
+    )
+    vertex_weights: np.ndarray | None = None  # (v, new_weight) pairs
+    add_vertices: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "add_edges", _as_edge_array(self.add_edges))
+        object.__setattr__(
+            self, "remove_edges", _as_edge_array(self.remove_edges)
+        )
+        if self.add_weights is not None:
+            w = np.asarray(self.add_weights, dtype=np.int64)
+            if len(w) != len(self.add_edges):
+                raise ValueError("add_weights must align with add_edges")
+            if w.size and w.min() <= 0:
+                raise ValueError("edge weights must be positive")
+            object.__setattr__(self, "add_weights", w)
+        if self.vertex_weights is not None:
+            vw = np.asarray(self.vertex_weights, dtype=np.int64)
+            if vw.size == 0:
+                vw = vw.reshape(0, 2)
+            if vw.ndim != 2 or vw.shape[1] != 2:
+                raise ValueError("vertex_weights must have shape (v, 2)")
+            if vw.size and vw[:, 1].min() <= 0:
+                raise ValueError("vertex weights must be positive")
+            object.__setattr__(self, "vertex_weights", vw)
+        if np.any(self.add_edges[:, 0] == self.add_edges[:, 1]):
+            raise ValueError("delta adds a self-loop")
+        if self.add_vertices < 0:
+            raise ValueError("add_vertices must be >= 0")
+
+    @property
+    def num_requested(self) -> int:
+        """Upper bound on the number of structural changes requested."""
+        nvw = 0 if self.vertex_weights is None else len(self.vertex_weights)
+        return len(self.add_edges) + len(self.remove_edges) + nvw
+
+    def to_dict(self) -> dict:
+        """JSON round-trip form (the HTTP front end's wire format)."""
+        d: dict = {
+            "add": self.add_edges.tolist(),
+            "remove": self.remove_edges.tolist(),
+            "add_vertices": self.add_vertices,
+        }
+        if self.add_weights is not None:
+            d["add_weights"] = self.add_weights.tolist()
+        if self.vertex_weights is not None:
+            d["vertex_weights"] = self.vertex_weights.tolist()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "GraphDelta":
+        return cls(
+            add_edges=np.asarray(d.get("add", []), dtype=np.int64),
+            add_weights=(
+                np.asarray(d["add_weights"], dtype=np.int64)
+                if d.get("add_weights") is not None
+                else None
+            ),
+            remove_edges=np.asarray(d.get("remove", []), dtype=np.int64),
+            vertex_weights=(
+                np.asarray(d["vertex_weights"], dtype=np.int64)
+                if d.get("vertex_weights") is not None
+                else None
+            ),
+            add_vertices=int(d.get("add_vertices", 0)),
+        )
+
+
+def _canonical_keys(edges: np.ndarray, n: int) -> np.ndarray:
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    return lo * n + hi
+
+
+def apply_delta(graph: CSRGraph, delta: GraphDelta) -> tuple[CSRGraph, int]:
+    """Apply ``delta`` to a CSR graph; returns ``(new_graph, changed)``.
+
+    ``changed`` counts the *actual* structural changes — edges really
+    removed, edges added or re-weighted, vertex weights really changed —
+    which is what feeds the service's cumulative drift counter.
+    """
+    n = graph.n + delta.add_vertices
+    maxv = max(
+        int(delta.add_edges.max(initial=-1)),
+        int(delta.remove_edges.max(initial=-1)),
+    )
+    if maxv >= n:
+        raise ValueError(
+            f"delta references vertex {maxv} but the graph has n={n}"
+        )
+
+    # existing undirected edges, canonical (lo, hi) with weights
+    src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+    mask = src < graph.adjncy
+    eu = src[mask]
+    ev = graph.adjncy[mask]
+    ew = np.asarray(graph.adjwgt)[mask]
+    keys = eu * n + ev
+    changed = 0
+
+    if len(delta.remove_edges):
+        rkeys = np.unique(_canonical_keys(delta.remove_edges, n))
+        hit = np.isin(keys, rkeys)
+        changed += int(hit.sum())
+        keep = ~hit
+        eu, ev, ew, keys = eu[keep], ev[keep], ew[keep], keys[keep]
+
+    if len(delta.add_edges):
+        akeys = _canonical_keys(delta.add_edges, n)
+        aw = (
+            delta.add_weights
+            if delta.add_weights is not None
+            else np.ones(len(akeys), dtype=np.int64)
+        )
+        # dedupe within the batch: the last occurrence of a pair wins
+        _, last = np.unique(akeys[::-1], return_index=True)
+        sel = len(akeys) - 1 - last
+        akeys, aw = akeys[sel], aw[sel]
+        # replace weights of edges that already exist
+        order = np.argsort(keys)
+        pos = np.searchsorted(keys[order], akeys)
+        pos_ok = pos < len(keys)
+        exists = np.zeros(len(akeys), dtype=bool)
+        exists[pos_ok] = keys[order][pos[pos_ok]] == akeys[pos_ok]
+        if exists.any():
+            tgt = order[pos[exists]]
+            changed += int((ew[tgt] != aw[exists]).sum())
+            ew = ew.copy()
+            ew[tgt] = aw[exists]
+        fresh = ~exists
+        if fresh.any():
+            changed += int(fresh.sum())
+            eu = np.concatenate([eu, akeys[fresh] // n])
+            ev = np.concatenate([ev, akeys[fresh] % n])
+            ew = np.concatenate([ew, aw[fresh]])
+
+    # vertex weights
+    vwgt = None
+    if graph.has_vertex_weights:
+        vwgt = np.asarray(graph.vwgt).copy()
+        if delta.add_vertices:
+            vwgt = np.concatenate(
+                [vwgt, np.ones(delta.add_vertices, dtype=np.int64)]
+            )
+    if delta.vertex_weights is not None and len(delta.vertex_weights):
+        vs = delta.vertex_weights[:, 0]
+        ws = delta.vertex_weights[:, 1]
+        if int(vs.max(initial=-1)) >= n or int(vs.min(initial=0)) < 0:
+            raise ValueError("vertex_weights references out-of-range vertex")
+        if vwgt is None:
+            vwgt = np.ones(n, dtype=np.int64)
+        changed += int((vwgt[vs] != ws).sum())
+        vwgt[vs] = ws
+        if not np.any(vwgt != 1):
+            vwgt = None  # degenerated back to unit weights
+
+    edges = np.stack([eu, ev], axis=1)
+    if ew.size and not np.any(ew != 1):
+        ew = None  # keep unit-weight graphs unit-weight (8-byte view)
+    new_graph = from_edges(n, edges, ew, vwgt=vwgt, symmetrize=True)
+    return new_graph, changed
+
+
+def random_delta(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    *,
+    n_add: int = 0,
+    n_remove: int = 0,
+    weighted: bool = False,
+) -> GraphDelta:
+    """A reproducible random delta: used by the trace generator and tests.
+
+    Removals sample existing edges; additions sample uniform non-loop
+    pairs (which may or may not already exist — realistic churn contains
+    both).
+    """
+    remove = np.empty((0, 2), dtype=np.int64)
+    if n_remove and graph.m:
+        src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+        mask = src < graph.adjncy
+        eu, ev = src[mask], graph.adjncy[mask]
+        idx = rng.choice(len(eu), size=min(n_remove, len(eu)), replace=False)
+        remove = np.stack([eu[idx], ev[idx]], axis=1)
+    add = np.empty((0, 2), dtype=np.int64)
+    weights = None
+    if n_add and graph.n >= 2:
+        u = rng.integers(0, graph.n, size=n_add, dtype=np.int64)
+        v = rng.integers(0, graph.n - 1, size=n_add, dtype=np.int64)
+        v = np.where(v >= u, v + 1, v)  # never a self-loop
+        add = np.stack([u, v], axis=1)
+        if weighted:
+            weights = rng.integers(1, 8, size=n_add, dtype=np.int64)
+    return GraphDelta(add_edges=add, add_weights=weights, remove_edges=remove)

@@ -130,6 +130,129 @@ class TestCorruptMetis:
             read_metis(p)
 
 
+class TestServiceFailureInjection:
+    """A partitioner raising mid-request must surface as a structured
+    error — without poisoning the request queue or leaking cache bytes."""
+
+    class _Flaky:
+        """partition_fn that raises for the first ``fail`` calls."""
+
+        def __init__(self, fail: int = 1):
+            self.calls = 0
+            self.fail = fail
+
+        def __call__(self, graph, k, config, tracker=None):
+            from types import SimpleNamespace
+
+            self.calls += 1
+            if self.calls <= self.fail:
+                raise RuntimeError("injected partitioner crash")
+            part = np.zeros(graph.n, dtype=np.int32)
+            part[graph.n // 2 :] = k - 1
+            return SimpleNamespace(
+                partition=part,
+                cut=7,
+                imbalance=0.0,
+                balanced=True,
+                wall_seconds=0.0,
+                num_levels=1,
+            )
+
+    @staticmethod
+    def _handle(flaky):
+        from repro.core import config as C
+        from repro.core.config import ServeConfig
+        from repro.serve import ServiceHandle
+
+        return ServiceHandle(
+            C.terapart().with_(compress_input=False),
+            ServeConfig(cache_budget_bytes=1 << 20),
+            partition_fn=flaky,
+        )
+
+    def test_structured_error_then_queue_survives(self, grid_graph):
+        from repro.serve import ServiceError
+
+        flaky = self._Flaky(fail=1)
+        with self._handle(flaky) as h:
+            h.register_graph("g", grid_graph)
+            with pytest.raises(ServiceError) as ei:
+                h.partition("g", 4)
+            err = ei.value.to_dict()
+            # structured: machine-readable code + request context
+            assert err["code"] == "partitioner-error"
+            assert "injected partitioner crash" in err["error"]
+            assert err["detail"]["graph"] == "g" and err["detail"]["k"] == 4
+            # the queue is not poisoned: the next request runs and succeeds
+            r = h.partition("g", 4)
+            snap = h.metrics_snapshot()
+        assert flaky.calls == 2
+        assert r.mode == "full" and r.cut == 7
+        assert snap["serve.run_errors"] == 1
+
+    def test_failed_run_leaks_no_cache_bytes(self, grid_graph):
+        from repro.serve import ServiceError
+
+        flaky = self._Flaky(fail=1)
+        with self._handle(flaky) as h:
+            h.register_graph("g", grid_graph)
+            with pytest.raises(ServiceError):
+                h.partition("g", 4)
+            cache = h.service.cache
+            tracker = h.service.tracker
+            # nothing was cached for the failed key, no in-flight leftovers
+            assert len(cache) == 0
+            assert cache.stats.resident_bytes == 0
+            assert not h.service._inflight
+            assert tracker.breakdown().get("serve-cache", 0) == 0
+
+    def test_failure_propagates_to_all_batched_clients(self, grid_graph):
+        from repro.serve import ServiceError
+
+        class _SlowFlaky(self._Flaky):
+            def __call__(self, graph, k, config, tracker=None):
+                import time
+
+                time.sleep(0.05)  # hold the window so clients batch up
+                return super().__call__(graph, k, config, tracker=tracker)
+
+        flaky = _SlowFlaky(fail=1)
+        with self._handle(flaky) as h:
+            h.register_graph("g", grid_graph)
+            import asyncio
+
+            async def _gather():
+                return await asyncio.gather(
+                    *(h.service.partition("g", 4) for _ in range(4)),
+                    return_exceptions=True,
+                )
+
+            results = h._call(_gather())
+            snap = h.metrics_snapshot()
+        # one run, one failure, four structured errors — never a hang
+        assert flaky.calls == 1
+        assert len(results) == 4
+        assert all(isinstance(r, ServiceError) for r in results)
+        assert snap["serve.run_errors"] == 1
+        assert snap["serve.errors"] == 4
+
+    def test_bad_delta_rejected_without_state_change(self, grid_graph):
+        from repro.serve import GraphDelta, ServiceError
+
+        flaky = self._Flaky(fail=0)
+        with self._handle(flaky) as h:
+            fp0 = h.register_graph("g", grid_graph)
+            with pytest.raises(ServiceError) as ei:
+                h.apply_delta(
+                    "g", GraphDelta(add_edges=[[0, 10**9]])
+                )
+            entry = h.service._entries["g"]
+            assert ei.value.code == "bad-request"
+            # the graph, its fingerprint, and drift are untouched
+            assert entry.fingerprint == fp0
+            assert entry.total_changed == 0 and entry.deltas_applied == 0
+
+
 class TestRoundTripUnderStress:
     def test_many_empty_neighborhoods(self):
         g = gen.star(50)  # 49 degree-1 vertices + hub, then add isolates

@@ -195,3 +195,85 @@ class TestImbalanceHardGate:
         base = capture_baseline(_matrix(), "b")
         report = compare(base, _matrix(), thresholds=THR)
         assert report.gate.passed
+
+
+def _service_rec(inst="fem-grid", seed=0, warm_over_full=0.05, p99=0.1,
+                 cut_overhead=0.98):
+    return {
+        "schema": RUNDB_SCHEMA,
+        "kind": "service",
+        "bench": "service-smoke",
+        "label": None,
+        "recorded_unix": None,
+        "env": {},
+        "config": None,
+        "run": {
+            "algorithm": "serve-terapart",
+            "instance": inst,
+            "k": 8,
+            "seed": seed,
+            "requests": 16,
+            "wall_seconds": 0.5,
+            "p50_seconds": 0.001,
+            "p99_seconds": p99,
+            "warm_over_full": warm_over_full,
+            "cut_overhead": cut_overhead,
+        },
+        "obs": None,
+    }
+
+
+class TestServiceKind:
+    """The kinds parameter routes service records through the same
+    baseline/compare machinery that gates partition runs."""
+
+    def test_default_kinds_ignore_service_records(self):
+        base = capture_baseline(_matrix() + [_service_rec()], "b")
+        assert "serve-terapart|fem-grid|8" not in base.groups
+        report = compare(base, _matrix() + [_service_rec()], thresholds=THR)
+        assert report.keys_compared == sorted(
+            {"terapart|fem-grid|4", "terapart|web-small|4"}
+        )
+
+    def test_service_baseline_capture(self):
+        recs = [_service_rec(inst=i, seed=s)
+                for i in ("fem-grid", "web-small") for s in range(2)]
+        base = capture_baseline(
+            recs, "svc", kinds=("service",),
+            metrics=("p99_seconds", "warm_over_full", "cut_overhead"),
+        )
+        g = base.groups["serve-terapart|fem-grid|8"]
+        assert g["seeds"] == [0, 1]
+        assert g["metrics"]["warm_over_full"] == [0.05, 0.05]
+        # no balanced flag on service records: defaults to balanced
+        assert g["balanced"] == [True, True]
+
+    def test_service_regression_detected(self):
+        kw = dict(kinds=("service",),
+                  metrics=("warm_over_full", "cut_overhead"))
+        recs = [_service_rec(inst=i, seed=s)
+                for i in ("fem-grid", "web-small") for s in range(2)]
+        base = capture_baseline(recs, "svc", **kw)
+        # warm starts degraded 10x: the gate must catch it
+        worse = [_service_rec(inst=i, seed=s, warm_over_full=0.5)
+                 for i in ("fem-grid", "web-small") for s in range(2)]
+        report = compare(base, worse, kinds=("service",),
+                         metrics=("warm_over_full",), thresholds=THR)
+        assert report.verdict_for("warm_over_full").classification == (
+            "regressed"
+        )
+        # unchanged candidate stays neutral
+        ok = compare(base, recs, kinds=("service",),
+                     metrics=("warm_over_full", "cut_overhead"),
+                     thresholds=THR)
+        assert not ok.regressed
+
+    def test_missing_metric_groups_skipped(self):
+        """A partition-metrics compare over service records yields no
+        verdict rather than a KeyError."""
+        recs = [_service_rec(seed=s) for s in range(2)]
+        base = capture_baseline(recs, "svc", kinds=("service",),
+                                metrics=("p99_seconds",))
+        report = compare(base, recs, kinds=("service",), metrics=("cut",),
+                         thresholds=THR)
+        assert report.verdict_for("cut") is None

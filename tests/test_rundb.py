@@ -9,6 +9,7 @@ from repro.core import config as C
 from repro.core.config import config_digest
 from repro.obs.regress.rundb import (
     RUNDB_SCHEMA,
+    SERVICE_METRICS,
     RunDB,
     config_stamp,
     default_rundb,
@@ -16,6 +17,7 @@ from repro.obs.regress.rundb import (
     latest_per_key,
     make_microbench_record,
     make_record,
+    make_service_record,
     migrate_record,
     run_key,
 )
@@ -70,6 +72,104 @@ class TestRecordBuilders:
         assert rec["kind"] == "microbench"
         assert rec["run"]["bulk_ns_per_edge"] == 96.0
         assert rec["obs"] is None
+
+
+def _service_metrics(**overrides):
+    m = {
+        "requests": 16,
+        "wall_seconds": 0.5,
+        "p50_seconds": 0.001,
+        "p99_seconds": 0.12,
+        "cache_hit_rate": 0.69,
+        "warm_over_full": 0.05,
+        "cut_overhead": 0.98,
+        "full_runs": 1,
+        "warm_runs": 4,
+    }
+    m.update(overrides)
+    return m
+
+
+class TestServiceRecords:
+    def test_make_service_record_shape(self):
+        rec = make_service_record(
+            "service-smoke",
+            algorithm="serve-terapart",
+            instance="fem-grid",
+            k=8,
+            seed=0,
+            metrics=_service_metrics(),
+            label="pr7",
+            config=C.terapart(),
+            obs={"counters": {"serve.requests": 16}},
+            env={},
+            timestamp=9.0,
+        )
+        assert rec["schema"] == RUNDB_SCHEMA
+        assert rec["kind"] == "service"
+        assert rec["bench"] == "service-smoke"
+        # same comparable identity as a partition record...
+        assert run_key(rec) == ("serve-terapart", "fem-grid", 8, 0)
+        # ...with the flat service metrics in the run section
+        assert rec["run"]["warm_over_full"] == 0.05
+        assert rec["run"]["p99_seconds"] == 0.12
+        assert rec["obs"]["counters"]["serve.requests"] == 16
+        assert rec["config"]["name"] == "terapart"
+
+    def test_gated_metrics_all_present(self):
+        rec = make_service_record(
+            "s", algorithm="a", instance="i", k=2, seed=0,
+            metrics=_service_metrics(), env={},
+        )
+        for m in SERVICE_METRICS:
+            assert m in rec["run"]
+
+    def test_db_roundtrip_and_kind_query(self, tmp_path):
+        db = RunDB(tmp_path / "runs.jsonl")
+        db.append(make_record(_rr(), bench="smoke", env={}))
+        db.append(
+            make_service_record(
+                "service-smoke",
+                algorithm="serve-terapart",
+                instance="fem-grid",
+                k=8,
+                seed=0,
+                metrics=_service_metrics(),
+                env={},
+            )
+        )
+        loaded = db.load()
+        assert [r["kind"] for r in loaded] == ["partition", "service"]
+        svc = db.query(kind="service")
+        assert len(svc) == 1
+        assert svc[0]["run"]["cut_overhead"] == 0.98
+        assert db.query(kind="service", algorithm="serve-terapart")
+        assert not db.query(kind="service", k=4)
+
+    def test_v2_record_migrates_to_v3(self):
+        """Pre-service records restamp cleanly; kind defaults hold."""
+        v2 = {
+            "schema": 2,
+            "kind": "partition",
+            "bench": "smoke",
+            "run": {"algorithm": "terapart", "cut": 5},
+        }
+        rec = migrate_record(v2)
+        assert rec["schema"] == RUNDB_SCHEMA == 3
+        assert rec["kind"] == "partition"
+        assert rec["run"]["cut"] == 5
+        assert rec["label"] is None and rec["obs"] is None
+
+    def test_v2_file_loads_under_v3(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        lines = [
+            json.dumps({"schema": 2, "kind": "partition", "run": {"cut": 1}}),
+            json.dumps({"csr_ns_per_edge": 9.8}),  # schema-0 legacy
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        recs = RunDB(path).load()
+        assert [r["schema"] for r in recs] == [RUNDB_SCHEMA, RUNDB_SCHEMA]
+        assert [r["kind"] for r in recs] == ["partition", "microbench"]
 
 
 class TestConfigStamp:

@@ -1,0 +1,121 @@
+"""Unit tests for the service's byte-budgeted LRU cache (serve/cache)."""
+
+import pytest
+
+from repro.memory.tracker import MemoryTracker
+from repro.serve.cache import ByteLRUCache
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        c = ByteLRUCache(100)
+        assert c.put("a", 1, 10)
+        assert c.get("a") == 1
+        assert "a" in c and len(c) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        c = ByteLRUCache(100)
+        assert c.get("nope") is None
+        assert c.stats.misses == 1 and c.stats.hits == 0
+
+    def test_peek_touches_nothing(self):
+        c = ByteLRUCache(100)
+        c.put("a", 1, 10)
+        c.put("b", 2, 10)
+        hits = c.stats.hits
+        assert c.peek("a") == 1
+        assert c.stats.hits == hits
+        # recency unchanged: "a" is still the LRU entry
+        c.put("c", 3, 90)
+        assert "a" not in c and "b" in c
+
+    def test_replace_same_key_adjusts_bytes(self):
+        c = ByteLRUCache(100)
+        c.put("a", 1, 40)
+        c.put("a", 2, 60)
+        assert c.get("a") == 2
+        assert c.stats.resident_bytes == 60 and len(c) == 1
+
+
+class TestEviction:
+    def test_strict_lru_order(self):
+        c = ByteLRUCache(30)
+        c.put("a", 1, 10)
+        c.put("b", 2, 10)
+        c.put("c", 3, 10)
+        c.get("a")  # refresh: "b" is now oldest
+        c.put("d", 4, 10)
+        assert "b" not in c
+        assert all(k in c for k in ("a", "c", "d"))
+        assert c.stats.evictions == 1
+
+    def test_one_big_entry_evicts_many_small(self):
+        c = ByteLRUCache(100)
+        for i in range(10):
+            c.put(i, i, 10)
+        c.put("big", "x", 95)
+        assert c.get("big") == "x"
+        assert c.stats.resident_bytes <= 100
+
+    def test_oversize_entry_rejected_not_flushing(self):
+        c = ByteLRUCache(100)
+        c.put("a", 1, 50)
+        assert not c.put("huge", 2, 101)
+        assert c.stats.rejected == 1
+        assert "a" in c  # resident entries untouched
+
+    def test_budget_never_exceeded(self):
+        c = ByteLRUCache(64)
+        for i in range(50):
+            c.put(i, i, 7 + (i % 13))
+            assert c.stats.resident_bytes <= 64
+
+    def test_zero_budget_accepts_nothing(self):
+        c = ByteLRUCache(0)
+        assert c.put("a", 1, 1) is False
+        assert c.put("b", 2, 0) is True  # zero-byte entries do fit
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            ByteLRUCache(-1)
+
+
+class TestInvalidation:
+    def test_invalidate_one(self):
+        c = ByteLRUCache(100)
+        c.put("a", 1, 10)
+        assert c.invalidate("a") and not c.invalidate("a")
+        assert c.stats.resident_bytes == 0
+        assert c.stats.evictions == 0  # invalidation is not eviction
+
+    def test_invalidate_where(self):
+        c = ByteLRUCache(100)
+        c.put(("part", 1), "p", 10)
+        c.put(("part", 2), "q", 10)
+        c.put(("graph", 1), "g", 10)
+        n = c.invalidate_where(lambda k: k[0] == "part")
+        assert n == 2 and len(c) == 1
+        assert c.peek(("graph", 1)) == "g"
+
+
+class TestTrackerLedger:
+    def test_bytes_registered_and_freed(self):
+        t = MemoryTracker()
+        c = ByteLRUCache(100, tracker=t)
+        c.put("a", 1, 40)
+        c.put("b", 2, 40)
+        assert t.current_bytes == 80
+        assert t.breakdown().get("serve-cache") == 80
+        c.put("c", 3, 40)  # evicts "a"
+        assert t.current_bytes == 80
+        c.clear()
+        assert t.current_bytes == 0
+        t.assert_empty()
+
+    def test_stats_mirror_ledger(self):
+        t = MemoryTracker()
+        c = ByteLRUCache(1000, tracker=t)
+        for i in range(20):
+            c.put(i, i, 17)
+        assert c.stats.resident_bytes == t.current_bytes
+        assert c.stats.entries == len(c)

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for incremental repartitioning.
+
+The service's warm-start claim, stated as an invariant: after any batch
+sequence of random deltas, a request returns a partition that is (a)
+valid for the *drifted* graph, (b) balanced, and (c) within
+``(1 + SLACK)`` of the cut a from-scratch full multilevel run finds on
+the same drifted graph — across seeds and drift levels, including
+levels that trip the fallback to a full repartition.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core import config as C
+from repro.core.config import ServeConfig
+from repro.core.partition import PartitionedGraph
+from repro.graph import generators as gen
+from repro.serve import ServiceHandle, random_delta
+
+#: refinement-only quality headroom vs a fresh multilevel run.  The smoke
+#: benchmark holds warm starts within 5% of scratch; tiny random graphs
+#: under aggressive random churn are far noisier, so the *invariant* bound
+#: is loose — the tight bound is the gated benchmark's job.
+SLACK = 0.5
+
+K = 4
+EPSILON = 0.03
+CFG = C.terapart(epsilon=EPSILON)
+BASE = gen.weblike(250, avg_degree=8, seed=9)
+
+#: delta size as a fraction of the graph's undirected edges per batch.
+#: 0.002 stays far below the drift threshold (warm path); 0.2 over two
+#: batches crosses it (fallback-to-full path).
+DRIFT_LEVELS = (0.002, 0.02, 0.2)
+
+
+class TestIncrementalRepartition:
+    @given(
+        seed=st.integers(0, 2**20),
+        drift=st.sampled_from(DRIFT_LEVELS),
+        batches=st.integers(1, 3),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_valid_balanced_and_near_scratch(self, seed, drift, batches):
+        rng = np.random.default_rng(seed)
+        per_batch = max(1, int(BASE.m * drift))
+        with ServiceHandle(CFG, ServeConfig()) as h:
+            h.register_graph("g", BASE)
+            h.partition("g", K)  # the anchor full run
+            result = None
+            for _ in range(batches):
+                h.apply_delta(
+                    "g",
+                    random_delta(
+                        h.service._entries["g"].graph,
+                        rng,
+                        n_add=per_batch,
+                        n_remove=per_batch,
+                    ),
+                )
+                result = h.partition("g", K)
+            final_graph = h.service._entries["g"].graph
+            snap = h.metrics_snapshot()
+
+        # (a) validity: right length, in-range blocks, cut recounts
+        assert len(result.partition) == final_graph.n
+        pg = PartitionedGraph(final_graph, K, result.partition)
+        pg.validate()
+        assert result.cut == pg.cut_weight()
+
+        # (b) balance: the service's own flag agrees with a recount
+        assert result.balanced
+        assert pg.is_balanced(EPSILON + 1e-9)
+
+        # (c) quality: within (1 + SLACK) of a from-scratch full run
+        scratch = repro.partition(final_graph, K, CFG)
+        assert result.cut <= (1.0 + SLACK) * max(scratch.cut, 1)
+
+        # every request was served by exactly one of the three modes
+        served = (
+            snap.get("serve.full_runs", 0)
+            + snap.get("serve.warm_runs", 0)
+            + snap.get("serve.cache_hits", 0)
+        )
+        assert served == snap["serve.requests"]
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=5, deadline=None)
+    def test_high_drift_falls_back_to_full(self, seed):
+        """Past the drift threshold the service must *not* warm start."""
+        rng = np.random.default_rng(seed)
+        scfg = ServeConfig(drift_threshold=0.01)
+        with ServiceHandle(CFG, scfg) as h:
+            h.register_graph("g", BASE)
+            h.partition("g", K)
+            h.apply_delta(
+                "g",
+                random_delta(
+                    BASE, rng, n_add=BASE.m // 10, n_remove=BASE.m // 10
+                ),
+            )
+            r = h.partition("g", K)
+            snap = h.metrics_snapshot()
+        assert r.mode == "full"
+        assert snap["serve.fallback_drift"] == 1
+        assert r.drift == 0.0  # a full run resets the drift anchor
