@@ -121,7 +121,11 @@ def _is_span_site(node: ast.Call) -> str | None:
     recv = terminal_name(node.func) or ""
     if attr == "span" and "tracer" in recv:
         return "span"
-    if attr == "phase" and (recv in ("ctx", "tracker") or "tracker" in recv):
+    if attr == "phase" and (
+        recv in ("ctx", "tracker") or "tracker" in recv or "tracer" in recv
+    ):
+        # "tracer" receivers cover the distributed driver, which threads a
+        # ClusterObserver under that name (ctx wraps the shared-memory one)
         return "phase"
     return None
 

@@ -14,7 +14,8 @@ Commands mirror how the original KaMinPar/TeraPart binaries are driven:
 * ``bench``      -- the regression observatory: ``record`` a run matrix
   into the append-only run database, capture a named ``baseline``,
   ``compare`` candidate runs against it (with ``--gate`` for CI),
-  ``service`` to replay the serving trace benchmark, and render
+  ``service`` to replay the serving trace benchmark, ``dist`` to run the
+  distributed partitioner with cluster observability on, and render
   sparkline ``trend`` lines from the database history.
 
 Examples::
@@ -30,6 +31,7 @@ Examples::
         --db runs.jsonl --gate
     python -m repro serve --graph web=g.bin --port 8642
     python -m repro bench service --suite smoke --db runs.jsonl
+    python -m repro bench dist --suite smoke --ranks 2 4 --db runs.jsonl
 """
 
 from __future__ import annotations
@@ -278,9 +280,12 @@ def _candidate_records(args: argparse.Namespace) -> list[dict]:
     db = RunDB(args.db)
     kinds = _kinds(args)
     suite = getattr(args, "suite", None)
-    # service records are stamped bench="service-<suite>" (they replay a
-    # trace over the suite's instances, they are not the suite itself)
-    benches = {suite, f"service-{suite}"} if suite else {None}
+    # service/dist records are stamped bench="service-<suite>" /
+    # "dist-<suite>" (they run over the suite's instances under a
+    # different harness, they are not the suite itself)
+    benches = (
+        {suite, f"service-{suite}", f"dist-{suite}"} if suite else {None}
+    )
     records = [
         r
         for r in db.query(label=args.label)
@@ -293,7 +298,11 @@ def _candidate_records(args: argparse.Namespace) -> list[dict]:
 
 def cmd_bench_baseline(args: argparse.Namespace) -> int:
     from repro.obs.regress.compare import DEFAULT_METRICS, capture_baseline
-    from repro.obs.regress.rundb import SERVICE_METRICS, environment_stamp
+    from repro.obs.regress.rundb import (
+        DIST_METRICS,
+        SERVICE_METRICS,
+        environment_stamp,
+    )
 
     kinds = _kinds(args)
     records = _candidate_records(args)
@@ -304,6 +313,10 @@ def cmd_bench_baseline(args: argparse.Namespace) -> int:
     metrics = DEFAULT_METRICS + ("imbalance",)
     if "service" in kinds:
         metrics = metrics + SERVICE_METRICS
+    if "dist" in kinds:
+        metrics = metrics + tuple(
+            m for m in DIST_METRICS if m not in metrics
+        )
     base = capture_baseline(
         records, args.name, env=environment_stamp(), metrics=metrics,
         kinds=kinds,
@@ -324,7 +337,7 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         CompareThresholds,
         compare,
     )
-    from repro.obs.regress.rundb import SERVICE_METRICS, RunDB
+    from repro.obs.regress.rundb import DIST_METRICS, SERVICE_METRICS, RunDB
 
     baseline = Baseline.load(args.baseline)
     kinds = _kinds(args)
@@ -336,6 +349,8 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         metrics = tuple(args.metrics.split(","))
     elif kinds == ("service",):
         metrics = SERVICE_METRICS
+    elif kinds == ("dist",):
+        metrics = DIST_METRICS
     else:
         metrics = ("cut", "peak_bytes", "wall_seconds")
     result = compare(
@@ -510,6 +525,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def cmd_bench_dist(args: argparse.Namespace) -> int:
+    from repro.bench.dist import DEFAULT_MODES, run_dist_bench
+    from repro.bench.reporting import fmt_bytes, render_table
+    from repro.obs.regress.rundb import RunDB
+
+    modes = DEFAULT_MODES
+    if args.modes:
+        wanted = set(args.modes.split(","))
+        modes = tuple(m for m in DEFAULT_MODES if m[0] in wanted)
+        unknown = wanted - {m[0] for m in DEFAULT_MODES}
+        if unknown:
+            raise SystemExit(f"unknown dist mode(s): {sorted(unknown)}")
+    instances = _bench_instances(args)
+    db = RunDB(args.db)
+    records = run_dist_bench(
+        tuple(instances),
+        tuple(args.ranks),
+        tuple(args.k),
+        tuple(args.seeds),
+        modes=modes,
+        rundb=db,
+        bench=f"dist-{args.suite}",
+        label=args.label,
+        artifacts_dir=args.artifacts,
+        progress=True,
+    )
+    rows = []
+    for rec in records:
+        run = rec["run"]
+        rows.append(
+            (
+                run["algorithm"],
+                run["instance"],
+                run["ranks"],
+                run["k"],
+                run["cut"],
+                f"{run['memory_ratio']:.3f}",
+                fmt_bytes(run["max_rank_peak_bytes"]),
+                fmt_bytes(run["comm_raw_bytes"]),
+                fmt_bytes(run["comm_varint_bytes"]),
+            )
+        )
+    print(
+        render_table(
+            ["algorithm", "instance", "ranks", "k", "cut", "mem ratio",
+             "max rank peak", "comm raw", "comm varint"],
+            rows,
+            title=f"recorded {len(records)} dist runs -> {args.db}"
+            + (f" (label {args.label})" if args.label else ""),
+        )
+    )
     return 0
 
 
@@ -770,6 +839,40 @@ def build_parser() -> argparse.ArgumentParser:
     bp.set_defaults(func=cmd_bench_service)
 
     bp = bench_sub.add_parser(
+        "dist",
+        help="run the distributed partitioner over a suite with cluster "
+        "observability on and append dist-kind records to the DB",
+    )
+    _common_db_args(bp)
+    bp.add_argument(
+        "--instances",
+        nargs="+",
+        default=None,
+        help="restrict the suite to these instance names",
+    )
+    bp.add_argument(
+        "--ranks",
+        type=int,
+        nargs="+",
+        default=[2, 4],
+        help="simulated rank counts (default: %(default)s)",
+    )
+    bp.add_argument("-k", type=int, nargs="+", default=[8])
+    bp.add_argument("--seeds", type=int, nargs="+", default=[0])
+    bp.add_argument(
+        "--modes",
+        default=None,
+        help="comma-separated systems to run: dkaminpar, xterapart "
+        "(default: both)",
+    )
+    bp.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for per-cell merged traces + memory-ratio reports",
+    )
+    bp.set_defaults(func=cmd_bench_dist)
+
+    bp = bench_sub.add_parser(
         "baseline", help="capture a named baseline from recorded runs"
     )
     _common_db_args(bp)
@@ -777,7 +880,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kinds",
         default=None,
         help="comma-separated record kinds (default: partition; "
-        "use 'service' for serving baselines)",
+        "use 'service' for serving baselines, 'dist' for distributed)",
     )
     bp.add_argument("--name", required=True, help="baseline name")
     bp.add_argument(
@@ -800,7 +903,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kinds",
         default=None,
         help="comma-separated record kinds (default: partition; "
-        "use 'service' to gate serving benchmarks)",
+        "use 'service' to gate serving benchmarks, 'dist' for distributed)",
     )
     bp.add_argument(
         "--metrics",

@@ -111,6 +111,24 @@ class ObsConfig:
 
 
 @dataclass(frozen=True)
+class DistObsConfig:
+    """Knobs of the distributed observability layer (DESIGN.md §12).
+
+    Lives here (not on :class:`ObsConfig`) because it configures the
+    *cluster* observer of :func:`repro.dist.dpartitioner.dpartition`:
+    per-rank span trees coupled to the per-rank ledgers, collective
+    instrumentation, and the memory-ratio report.  Defaults to off; the
+    disabled path threads a shared no-op observer and the partition is
+    bit-identical with and without it (tested).
+    """
+
+    enabled: bool = False
+    # mirror per-round kernel spans (dist-lp-roundN, dist-refine-roundN)
+    # onto every rank track; off keeps only driver-level phases
+    round_spans: bool = True
+
+
+@dataclass(frozen=True)
 class InitialPartitioningConfig:
     """Portfolio of randomized greedy-graph-growing bipartitioners + 2-way FM."""
 

@@ -5,6 +5,13 @@ simulation executes them atomically (a superstep barrier).  Byte counters
 feed the distributed cost model: per-rank traffic, message counts, and the
 number of supersteps (latency-bound term).  Per-rank memory ledgers live
 here too, because the binding constraint in Figure 8 is *per-node* memory.
+
+Every collective is also reported to an optional ``observer`` (duck-typed;
+see :class:`repro.obs.dist.cluster.ClusterObserver`) with the exact raw
+payload, so the observability layer can attribute traffic to the phase that
+caused it and price a varint-compressed wire format against the raw one.
+This module deliberately does not import the obs layer: the observer is
+attached from above and ``None`` costs one attribute load per collective.
 """
 
 from __future__ import annotations
@@ -17,27 +24,60 @@ from repro.memory.tracker import MemoryTracker
 
 
 @dataclass
+class CollectiveStats:
+    """Counters of one collective kind (alltoallv, allgather, ...)."""
+
+    calls: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+@dataclass
 class CommStats:
-    """Aggregate communication measurements."""
+    """Aggregate communication measurements, split by collective kind."""
 
     bytes_sent: int = 0
     messages: int = 0
     supersteps: int = 0
+    by_kind: dict[str, CollectiveStats] = field(default_factory=dict)
 
-    def record(self, nbytes: int, nmsgs: int) -> None:
+    def record(self, nbytes: int, nmsgs: int, kind: str = "collective") -> None:
         self.bytes_sent += int(nbytes)
         self.messages += int(nmsgs)
         self.supersteps += 1
+        ks = self.by_kind.get(kind)
+        if ks is None:
+            ks = self.by_kind[kind] = CollectiveStats()
+        ks.calls += 1
+        ks.messages += int(nmsgs)
+        ks.bytes_sent += int(nbytes)
 
 
 def _nbytes(obj) -> int:
+    """Exact payload bytes of one collective operand.
+
+    Containers recurse into their elements (a nested list of arrays counts
+    every buffer, not the outer list object); buffers report their true
+    size; scalars cost one machine word (8 bytes) regardless of Python's
+    boxed representation, matching what a wire format would carry.
+    """
     if isinstance(obj, np.ndarray):
         return obj.nbytes
-    if isinstance(obj, (bytes, bytearray)):
+    if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
+    if isinstance(obj, (bool, np.bool_)):
+        return 1
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
     if isinstance(obj, (list, tuple)):
         return sum(_nbytes(x) for x in obj)
-    return 8  # scalars / small objects
+    if isinstance(obj, dict):
+        return sum(_nbytes(k) + _nbytes(v) for k, v in obj.items())
+    if obj is None:
+        return 0
+    return 8  # unknown small object: one word
 
 
 class SimComm:
@@ -49,6 +89,7 @@ class SimComm:
         self.size = size
         self.stats = CommStats()
         self.trackers = [MemoryTracker() for _ in range(size)]
+        self.observer = None  # duck-typed ClusterObserver, attached from obs
 
     # ------------------------------------------------------------------ #
     # collectives (rank-indexed in, rank-indexed out)
@@ -56,10 +97,19 @@ class SimComm:
     def alltoallv(self, send: list[list]) -> list[list]:
         """``send[src][dst]`` -> ``recv[dst][src]``."""
         self._check_square(send)
-        traffic = sum(
-            _nbytes(send[s][d]) for s in range(self.size) for d in range(self.size) if s != d
-        )
-        self.stats.record(traffic, self.size * (self.size - 1))
+        wire = [
+            send[s][d]
+            for s in range(self.size)
+            for d in range(self.size)
+            if s != d
+        ]
+        traffic = sum(_nbytes(x) for x in wire)
+        nmsgs = self.size * (self.size - 1)
+        self.stats.record(traffic, nmsgs, kind="alltoallv")
+        if self.observer is not None:
+            self.observer.on_collective(
+                "alltoallv", traffic, nmsgs, payload=wire
+            )
         return [
             [send[s][d] for s in range(self.size)] for d in range(self.size)
         ]
@@ -69,7 +119,17 @@ class SimComm:
         if len(items) != self.size:
             raise ValueError("allgather needs one item per rank")
         per_rank = sum(_nbytes(x) for x in items)
-        self.stats.record(per_rank * (self.size - 1), self.size * (self.size - 1))
+        traffic = per_rank * (self.size - 1)
+        nmsgs = self.size * (self.size - 1)
+        self.stats.record(traffic, nmsgs, kind="allgather")
+        if self.observer is not None:
+            self.observer.on_collective(
+                "allgather",
+                traffic,
+                nmsgs,
+                payload=items,
+                replication=self.size - 1,
+            )
         return [list(items) for _ in range(self.size)]
 
     def allreduce(self, values: list[np.ndarray], op: str = "sum") -> np.ndarray:
@@ -77,9 +137,17 @@ class SimComm:
         if len(values) != self.size:
             raise ValueError("allreduce needs one value per rank")
         arrs = [np.asarray(v) for v in values]
-        self.stats.record(
-            arrs[0].nbytes * 2 * max(0, self.size - 1), 2 * (self.size - 1)
-        )
+        traffic = arrs[0].nbytes * 2 * max(0, self.size - 1)
+        nmsgs = 2 * (self.size - 1)
+        self.stats.record(traffic, nmsgs, kind="allreduce")
+        if self.observer is not None:
+            self.observer.on_collective(
+                "allreduce",
+                traffic,
+                nmsgs,
+                payload=arrs[0],
+                replication=2 * max(0, self.size - 1),
+            )
         if op == "sum":
             return np.sum(arrs, axis=0)
         if op == "max":
@@ -90,11 +158,23 @@ class SimComm:
 
     def bcast(self, value, root: int = 0):
         """Root's value replicated to every rank."""
-        self.stats.record(_nbytes(value) * (self.size - 1), self.size - 1)
+        traffic = _nbytes(value) * (self.size - 1)
+        nmsgs = self.size - 1
+        self.stats.record(traffic, nmsgs, kind="bcast")
+        if self.observer is not None:
+            self.observer.on_collective(
+                "bcast",
+                traffic,
+                nmsgs,
+                payload=value,
+                replication=self.size - 1,
+            )
         return [value for _ in range(self.size)]
 
     def barrier(self) -> None:
-        self.stats.record(0, self.size)
+        self.stats.record(0, self.size, kind="barrier")
+        if self.observer is not None:
+            self.observer.on_collective("barrier", 0, self.size)
 
     # ------------------------------------------------------------------ #
     # per-rank memory

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.dist.comm import SimComm
 from repro.dist.dgraph import DistributedGraph
+from repro.obs.dist.cluster import NULL_CLUSTER_OBSERVER
 
 
 def _segment_best(
@@ -79,12 +80,28 @@ def _ghost_update_payload(
     return payload
 
 
+def _count_ghost_updates(tracer, payload: list[list[np.ndarray]]) -> None:
+    """Per-rank + cluster-wide ghost-update counters for one exchange."""
+    if not tracer.enabled:
+        return
+    total = 0
+    for src, row in enumerate(payload):
+        sent = sum(len(us) for us in row)
+        if sent:
+            tracer.rank_add(src, "dlp.ghost_updates_sent", sent)
+        total += sent
+    tracer.add("dlp.ghost_updates", total)
+
+
 def distributed_lp_clustering(
     dgraph: DistributedGraph,
     max_cluster_weight: int,
     rounds: int,
     batches: int,
     rng: np.random.Generator,
+    *,
+    tracer=NULL_CLUSTER_OBSERVER,
+    level: int | None = None,
 ) -> np.ndarray:
     """Cluster all vertices; returns global leader labels (size n).
 
@@ -93,6 +110,13 @@ def distributed_lp_clustering(
     see only labels from the previous batch boundary, matching the stale
     reads a real distributed run exhibits.  Per-rank ledgers are charged for
     the per-rank label + ghost-label + weight-table working set.
+
+    ``tracer`` (a :class:`~repro.obs.dist.cluster.ClusterObserver` or the
+    shared null observer) gets one kernel span per round, a
+    ``ghost-exchange`` span around every boundary-label alltoallv, the
+    per-round contention count (moves the stale weight table rejected at
+    apply time), and per-rank ghost-update counters.  It never influences
+    the computation.
     """
     comm = dgraph.comm
     n = dgraph.n
@@ -113,59 +137,66 @@ def distributed_lp_clustering(
         )
 
     vwgt_global = weights.copy()
-    for _ in range(rounds):
+    for rnd in range(rounds):
         moved = 0
-        for batch in range(batches):
-            snapshot = labels.copy()  # batch-start label view (stale reads)
-            all_changes: list[tuple[np.ndarray, np.ndarray]] = []
-            for shard in dgraph.shards:
-                local = np.arange(shard.lo, shard.hi, dtype=np.int64)
-                mine = local[local % batches == batch]
-                if len(mine) == 0:
-                    all_changes.append(
-                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        with tracer.span(f"dist-lp-round{rnd}", level=level):
+            for batch in range(batches):
+                snapshot = labels.copy()  # batch-start label view (stale reads)
+                all_changes: list[tuple[np.ndarray, np.ndarray]] = []
+                for shard in dgraph.shards:
+                    local = np.arange(shard.lo, shard.hi, dtype=np.int64)
+                    mine = local[local % batches == batch]
+                    if len(mine) == 0:
+                        all_changes.append(
+                            (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                        )
+                        continue
+                    owners = []
+                    nbrs = []
+                    ws = []
+                    for i, u in enumerate(mine.tolist()):
+                        nv, wv = shard.neighbors_and_weights(u - shard.lo)
+                        if len(nv):
+                            owners.append(np.full(len(nv), i, dtype=np.int64))
+                            nbrs.append(np.asarray(nv))
+                            ws.append(np.asarray(wv))
+                    if not owners:
+                        all_changes.append(
+                            (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                        )
+                        continue
+                    owner = np.concatenate(owners)
+                    nbr = np.concatenate(nbrs)
+                    w = np.concatenate(ws)
+                    po, pl = _segment_best(
+                        owner, snapshot[nbr], w, n, snapshot[mine]
                     )
-                    continue
-                owners = []
-                nbrs = []
-                ws = []
-                for i, u in enumerate(mine.tolist()):
-                    nv, wv = shard.neighbors_and_weights(u - shard.lo)
-                    if len(nv):
-                        owners.append(np.full(len(nv), i, dtype=np.int64))
-                        nbrs.append(np.asarray(nv))
-                        ws.append(np.asarray(wv))
-                if not owners:
-                    all_changes.append(
-                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-                    )
-                    continue
-                owner = np.concatenate(owners)
-                nbr = np.concatenate(nbrs)
-                w = np.concatenate(ws)
-                po, pl = _segment_best(
-                    owner, snapshot[nbr], w, n, snapshot[mine]
-                )
-                us = mine[po]
-                cur = snapshot[us]
-                fits = weights[pl] + vwgt_global[us] <= max_cluster_weight
-                move = (pl != cur) & fits
-                all_changes.append((us[move], pl[move]))
-            # apply moves + exchange boundary label updates (alltoallv)
-            for us, ls in all_changes:
-                for u, l in zip(us.tolist(), ls.tolist()):
-                    w = int(vwgt_global[u])
-                    if weights[l] + w > max_cluster_weight:
-                        continue  # weight table refreshed between batches
-                    weights[labels[u]] -= w
-                    weights[l] += w
-                    labels[u] = l
-                    moved += 1
-            payload = _ghost_update_payload(dgraph, all_changes)
-            comm.alltoallv(payload)  # label updates to ghost holders only
-        comm.allreduce(
-            [np.array([moved], dtype=np.int64) for _ in range(comm.size)]
-        )
+                    us = mine[po]
+                    cur = snapshot[us]
+                    fits = weights[pl] + vwgt_global[us] <= max_cluster_weight
+                    move = (pl != cur) & fits
+                    all_changes.append((us[move], pl[move]))
+                # apply moves + exchange boundary label updates (alltoallv)
+                contended = 0
+                for us, ls in all_changes:
+                    for u, l in zip(us.tolist(), ls.tolist()):
+                        w = int(vwgt_global[u])
+                        if weights[l] + w > max_cluster_weight:
+                            contended += 1
+                            continue  # weight table refreshed between batches
+                        weights[labels[u]] -= w
+                        weights[l] += w
+                        labels[u] = l
+                        moved += 1
+                with tracer.span("ghost-exchange", level=level):
+                    payload = _ghost_update_payload(dgraph, all_changes)
+                    comm.alltoallv(payload)  # label updates to ghost holders only
+                tracer.add("dlp.contention", contended)
+                _count_ghost_updates(tracer, payload)
+            comm.allreduce(
+                [np.array([moved], dtype=np.int64) for _ in range(comm.size)]
+            )
+            tracer.add("dlp.moves", moved)
         if moved == 0:
             break
 
@@ -182,6 +213,9 @@ def distributed_lp_refine(
     max_block_weight: int,
     rounds: int,
     batches: int,
+    *,
+    tracer=NULL_CLUSTER_OBSERVER,
+    level: int | None = None,
 ) -> int:
     """Batch-synchronous size-constrained LP refinement; returns move count."""
     comm = dgraph.comm
@@ -189,78 +223,82 @@ def distributed_lp_refine(
     for shard in dgraph.shards:
         vwgt[shard.lo : shard.hi] = shard.vwgt
     total_moves = 0
-    for _ in range(rounds):
+    for rnd in range(rounds):
         moved = 0
-        for batch in range(batches):
-            snapshot = partition.copy()
-            all_changes: list[tuple[np.ndarray, np.ndarray]] = []
-            for shard in dgraph.shards:
-                local = np.arange(shard.lo, shard.hi, dtype=np.int64)
-                mine = local[local % batches == batch]
-                owners, nbrs, ws = [], [], []
-                for i, u in enumerate(mine.tolist()):
-                    nv, wv = shard.neighbors_and_weights(u - shard.lo)
-                    if len(nv):
-                        owners.append(np.full(len(nv), i, dtype=np.int64))
-                        nbrs.append(np.asarray(nv))
-                        ws.append(np.asarray(wv))
-                if not owners:
-                    all_changes.append(
-                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-                    )
-                    continue
-                owner = np.concatenate(owners)
-                nbr = np.concatenate(nbrs)
-                w = np.concatenate(ws)
-                # compute gains per (owner, block)
-                key = owner * np.int64(k) + snapshot[nbr]
-                order = np.argsort(key, kind="stable")
-                key_s, w_s = key[order], w[order]
-                boundary = np.empty(len(key_s), dtype=bool)
-                boundary[0] = True
-                boundary[1:] = key_s[1:] != key_s[:-1]
-                starts = np.flatnonzero(boundary)
-                ratings = np.add.reduceat(w_s, starts)
-                pair_key = key_s[starts]
-                po = pair_key // k
-                pb = pair_key % k
-                us_all = mine[po]
-                cur = snapshot[us_all].astype(np.int64)
-                cur_aff = np.zeros(len(mine), dtype=np.int64)
-                is_cur = pb == cur
-                cur_aff[po[is_cur]] = ratings[is_cur]
-                gain = ratings - cur_aff[po]
-                fits = block_weights[pb] + vwgt[us_all] <= max_block_weight
-                ok = fits & ~is_cur & (gain > 0)
-                if not np.any(ok):
-                    all_changes.append(
-                        (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-                    )
-                    continue
-                po2, pb2, g2 = po[ok], pb[ok], gain[ok]
-                ordc = np.lexsort((g2, po2))
-                last = np.empty(len(ordc), dtype=bool)
-                last[-1] = True
-                last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
-                best = ordc[last]
-                all_changes.append((mine[po2[best]], pb2[best]))
-            for us, bs in all_changes:
-                for u, b in zip(us.tolist(), bs.tolist()):
-                    w = int(vwgt[u])
-                    src = int(partition[u])
-                    if b == src:
+        with tracer.span(f"dist-refine-round{rnd}", level=level):
+            for batch in range(batches):
+                snapshot = partition.copy()
+                all_changes: list[tuple[np.ndarray, np.ndarray]] = []
+                for shard in dgraph.shards:
+                    local = np.arange(shard.lo, shard.hi, dtype=np.int64)
+                    mine = local[local % batches == batch]
+                    owners, nbrs, ws = [], [], []
+                    for i, u in enumerate(mine.tolist()):
+                        nv, wv = shard.neighbors_and_weights(u - shard.lo)
+                        if len(nv):
+                            owners.append(np.full(len(nv), i, dtype=np.int64))
+                            nbrs.append(np.asarray(nv))
+                            ws.append(np.asarray(wv))
+                    if not owners:
+                        all_changes.append(
+                            (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                        )
                         continue
-                    # batch-synchronous: the stale weight check may overfill;
-                    # the rebalancer repairs it afterwards (paper Section II-B)
-                    block_weights[src] -= w
-                    block_weights[b] += w
-                    partition[u] = b
-                    moved += 1
-            payload = _ghost_update_payload(dgraph, all_changes)
-            comm.alltoallv(payload)
-        comm.allreduce(
-            [block_weights.copy() for _ in range(comm.size)], op="max"
-        )
+                    owner = np.concatenate(owners)
+                    nbr = np.concatenate(nbrs)
+                    w = np.concatenate(ws)
+                    # compute gains per (owner, block)
+                    key = owner * np.int64(k) + snapshot[nbr]
+                    order = np.argsort(key, kind="stable")
+                    key_s, w_s = key[order], w[order]
+                    boundary = np.empty(len(key_s), dtype=bool)
+                    boundary[0] = True
+                    boundary[1:] = key_s[1:] != key_s[:-1]
+                    starts = np.flatnonzero(boundary)
+                    ratings = np.add.reduceat(w_s, starts)
+                    pair_key = key_s[starts]
+                    po = pair_key // k
+                    pb = pair_key % k
+                    us_all = mine[po]
+                    cur = snapshot[us_all].astype(np.int64)
+                    cur_aff = np.zeros(len(mine), dtype=np.int64)
+                    is_cur = pb == cur
+                    cur_aff[po[is_cur]] = ratings[is_cur]
+                    gain = ratings - cur_aff[po]
+                    fits = block_weights[pb] + vwgt[us_all] <= max_block_weight
+                    ok = fits & ~is_cur & (gain > 0)
+                    if not np.any(ok):
+                        all_changes.append(
+                            (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                        )
+                        continue
+                    po2, pb2, g2 = po[ok], pb[ok], gain[ok]
+                    ordc = np.lexsort((g2, po2))
+                    last = np.empty(len(ordc), dtype=bool)
+                    last[-1] = True
+                    last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
+                    best = ordc[last]
+                    all_changes.append((mine[po2[best]], pb2[best]))
+                for us, bs in all_changes:
+                    for u, b in zip(us.tolist(), bs.tolist()):
+                        w = int(vwgt[u])
+                        src = int(partition[u])
+                        if b == src:
+                            continue
+                        # batch-synchronous: the stale weight check may overfill;
+                        # the rebalancer repairs it afterwards (paper Section II-B)
+                        block_weights[src] -= w
+                        block_weights[b] += w
+                        partition[u] = b
+                        moved += 1
+                with tracer.span("ghost-exchange", level=level):
+                    payload = _ghost_update_payload(dgraph, all_changes)
+                    comm.alltoallv(payload)
+                _count_ghost_updates(tracer, payload)
+            comm.allreduce(
+                [block_weights.copy() for _ in range(comm.size)], op="max"
+            )
+            tracer.add("dlp.refine_moves", moved)
         total_moves += moved
         if moved == 0:
             break

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import PartitionerConfig, terapart
+from repro.core.config import DistObsConfig, PartitionerConfig, terapart
 from repro.core.initial.recursive import initial_partition
 from repro.core.partition import max_block_weight
 from repro.dist.comm import CommStats, SimComm
@@ -33,6 +33,7 @@ from repro.dist.dgraph import DistributedGraph, distribute_graph
 from repro.dist.dlp import distributed_lp_clustering, distributed_lp_refine
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
+from repro.obs.dist.cluster import NULL_CLUSTER_OBSERVER, ClusterObserver
 
 
 @dataclass
@@ -50,6 +51,10 @@ class DistPartitionResult:
     modeled_seconds: float
     num_levels: int
     oom: bool = False
+    # when obs is enabled: the finished ClusterObserver and the compact
+    # registry snapshot (memory-ratio report + cluster roll-up)
+    trace: object | None = None
+    obs: dict | None = None
 
 
 @dataclass
@@ -66,10 +71,21 @@ class DistConfig:
     rank_memory_budget: int | None = None
     seed: int = 0
     epsilon: float = 0.03
+    obs: DistObsConfig = field(default_factory=DistObsConfig)
+
+
+def _shard_footprint(dgraph: DistributedGraph) -> tuple[int, int]:
+    """(resident shard bytes, ghost-mapping bytes) summed over ranks."""
+    shard_bytes = sum(s.storage_bytes for s in dgraph.shards)
+    ghost_bytes = sum(s.ghost_bytes for s in dgraph.shards)
+    return int(shard_bytes), int(ghost_bytes)
 
 
 def _contract_distributed(
-    dgraph: DistributedGraph, labels: np.ndarray, compressed: bool
+    dgraph: DistributedGraph,
+    labels: np.ndarray,
+    compressed: bool,
+    tracer=NULL_CLUSTER_OBSERVER,
 ) -> tuple[DistributedGraph, np.ndarray]:
     """Contract a distributed clustering into a new distributed graph.
 
@@ -140,6 +156,11 @@ def _contract_distributed(
                     [cu[mask], cv[mask], w[mask]], axis=1
                 )
     received = comm.alltoallv(buckets)
+    if tracer.enabled:
+        for dst_rank, per_rank in enumerate(received):
+            rows = sum(len(r) for r in per_rank)
+            if rows:
+                tracer.rank_add(dst_rank, "contract.rows_received", rows)
 
     # ---- owners merge their buckets into the coarse graph ---- #
     all_rows = [
@@ -160,6 +181,7 @@ def _contract_distributed(
         cu, cv = key_u // n_coarse, key_u % n_coarse
     else:
         cu = cv = w = np.empty(0, dtype=np.int64)
+    tracer.add("contract.coarse_edges", len(cv))
 
     vwgt = np.zeros(n_coarse, dtype=np.int64)
     all_vwgt = np.zeros(n, dtype=np.int64)
@@ -200,6 +222,7 @@ def dpartition(
     compressed: bool = False,
     config: DistConfig | None = None,
     sm_config: PartitionerConfig | None = None,
+    observer=None,
 ) -> DistPartitionResult:
     """Partition ``graph`` on a simulated cluster of ranks.
 
@@ -207,6 +230,14 @@ def dpartition(
     A ``rank_memory_budget`` turns the run into a feasibility experiment:
     the result's ``oom`` flag reports whether any rank exceeded the budget
     (the per-node 256 GiB constraint of Fig. 8).
+
+    With ``config.obs.enabled`` (or an explicit ``observer``), the run is
+    traced by a :class:`~repro.obs.dist.cluster.ClusterObserver`: every
+    driver phase is mirrored onto per-rank span trees coupled to the rank
+    ledgers, every collective is attributed to its phase, and the result
+    carries the observer (``trace``) plus the memory-ratio registry
+    (``obs``).  Tracing never perturbs the partition (bit-identical,
+    tested).
     """
     cfg = config or DistConfig()
     comm = (
@@ -214,106 +245,173 @@ def dpartition(
         if isinstance(comm_or_ranks, SimComm)
         else SimComm(comm_or_ranks)
     )
+    if observer is not None:
+        tracer = observer
+    elif cfg.obs.enabled:
+        tracer = ClusterObserver(comm, round_spans=cfg.obs.round_spans)
+    else:
+        tracer = NULL_CLUSTER_OBSERVER
     rng = np.random.default_rng(cfg.seed)
     t0 = time.perf_counter()
 
-    dgraph = distribute_graph(graph, comm, compressed=compressed)
-    top = dgraph
-    hierarchy: list[tuple[DistributedGraph, np.ndarray]] = []
-    limit = max(2 * k, cfg.contraction_limit_factor * k)
-    total_weight = dgraph.total_vertex_weight
-    max_cluster_weight = max(1, total_weight // max(limit, 1))
-
-    current = dgraph
-    for _ in range(cfg.max_levels):
-        if current.n <= limit:
-            break
-        labels = distributed_lp_clustering(
-            current, max_cluster_weight, cfg.lp_rounds, cfg.batches, rng
+    with tracer.phase("dist-partition"):
+        with tracer.phase("dist-distribute"):
+            dgraph = distribute_graph(graph, comm, compressed=compressed)
+        shard_bytes, ghost_bytes = _shard_footprint(dgraph)
+        tracer.note_level(
+            0,
+            n=dgraph.n,
+            m=dgraph.m,
+            shard_bytes=shard_bytes,
+            ghost_bytes=ghost_bytes,
         )
-        shrink = current.n / max(len(np.unique(labels)), 1)
-        if shrink < cfg.min_shrink_factor:
-            break
-        coarse, fine_to_coarse = _contract_distributed(
-            current, labels, compressed
-        )
-        hierarchy.append((current, fine_to_coarse))
-        current = coarse
+        top = dgraph
+        hierarchy: list[tuple[DistributedGraph, np.ndarray]] = []
+        limit = max(2 * k, cfg.contraction_limit_factor * k)
+        total_weight = dgraph.total_vertex_weight
+        max_cluster_weight = max(1, total_weight // max(limit, 1))
 
-    # ---- initial partitioning: full coarsest copy on every rank ---- #
-    coarsest_edges = []
-    coarsest_w = []
-    for shard in current.shards:
-        for lu in range(shard.n_local):
-            nv, wv = shard.neighbors_and_weights(lu)
-            u = shard.lo + lu
-            mask = np.asarray(nv) > u
-            coarsest_edges.append(
-                np.stack(
-                    [np.full(int(mask.sum()), u, dtype=np.int64), np.asarray(nv)[mask]],
-                    axis=1,
+        current = dgraph
+        level = 0
+        with tracer.phase("dist-coarsening"):
+            for _ in range(cfg.max_levels):
+                if current.n <= limit:
+                    break
+                with tracer.phase(f"dist-lp-level{level}", level=level):
+                    labels = distributed_lp_clustering(
+                        current,
+                        max_cluster_weight,
+                        cfg.lp_rounds,
+                        cfg.batches,
+                        rng,
+                        tracer=tracer,
+                        level=level,
+                    )
+                shrink = current.n / max(len(np.unique(labels)), 1)
+                if shrink < cfg.min_shrink_factor:
+                    break
+                with tracer.phase(f"dist-contract-level{level}", level=level):
+                    coarse, fine_to_coarse = _contract_distributed(
+                        current, labels, compressed, tracer=tracer
+                    )
+                shard_bytes, ghost_bytes = _shard_footprint(coarse)
+                tracer.note_level(
+                    level + 1,
+                    n=coarse.n,
+                    m=coarse.m,
+                    shard_bytes=shard_bytes,
+                    ghost_bytes=ghost_bytes,
                 )
-            )
-            coarsest_w.append(np.asarray(wv)[mask])
-    vwgt = np.concatenate([s.vwgt for s in current.shards])
-    if coarsest_edges:
-        e = np.concatenate(coarsest_edges)
-        w = np.concatenate(coarsest_w)
-    else:
-        e = np.zeros((0, 2), dtype=np.int64)
-        w = None
-    coarsest = from_edges(current.n, e, w, vwgt, symmetrize=True)
-    copy_aids = [
-        comm.trackers[r].alloc(f"coarsest-copy-{r}", coarsest.nbytes, "initial")
-        for r in range(comm.size)
-    ]
-    comm.allgather([coarsest.nbytes for _ in range(comm.size)])
-    sm_cfg = sm_config or terapart()
-    best_part = None
-    best_cut = None
-    for r in range(comm.size):
-        part = initial_partition(
-            coarsest,
-            k,
-            cfg.epsilon,
-            np.random.default_rng(cfg.seed * 1000 + r),
-            attempts=2,
-            fm_rounds=1,
-        )
-        from repro.core.partition import PartitionedGraph
+                hierarchy.append((current, fine_to_coarse))
+                current = coarse
+                level += 1
 
-        cut = PartitionedGraph(coarsest, k, part).cut_weight()
-        if best_cut is None or cut < best_cut:
-            best_cut, best_part = cut, part
-    comm.bcast(best_part)
-    for r, aid in enumerate(copy_aids):
-        comm.trackers[r].free(aid)
+        # ---- initial partitioning: full coarsest copy on every rank ---- #
+        with tracer.phase("dist-initial", level=len(hierarchy)):
+            coarsest_edges = []
+            coarsest_w = []
+            for shard in current.shards:
+                for lu in range(shard.n_local):
+                    nv, wv = shard.neighbors_and_weights(lu)
+                    u = shard.lo + lu
+                    mask = np.asarray(nv) > u
+                    coarsest_edges.append(
+                        np.stack(
+                            [
+                                np.full(int(mask.sum()), u, dtype=np.int64),
+                                np.asarray(nv)[mask],
+                            ],
+                            axis=1,
+                        )
+                    )
+                    coarsest_w.append(np.asarray(wv)[mask])
+            vwgt = np.concatenate([s.vwgt for s in current.shards])
+            if coarsest_edges:
+                e = np.concatenate(coarsest_edges)
+                w = np.concatenate(coarsest_w)
+            else:
+                e = np.zeros((0, 2), dtype=np.int64)
+                w = None
+            coarsest = from_edges(current.n, e, w, vwgt, symmetrize=True)
+            copy_aids = [
+                comm.trackers[r].alloc(
+                    f"coarsest-copy-{r}", coarsest.nbytes, "initial"
+                )
+                for r in range(comm.size)
+            ]
+            comm.allgather([coarsest.nbytes for _ in range(comm.size)])
+            sm_cfg = sm_config or terapart()
+            best_part = None
+            best_cut = None
+            for r in range(comm.size):
+                part = initial_partition(
+                    coarsest,
+                    k,
+                    cfg.epsilon,
+                    np.random.default_rng(cfg.seed * 1000 + r),
+                    attempts=2,
+                    fm_rounds=1,
+                )
+                from repro.core.partition import PartitionedGraph
 
-    # ---- uncoarsening ---- #
-    partition = best_part.astype(np.int32)
-    lmax = max_block_weight(total_weight, k, cfg.epsilon)
-    levels = [current] + []
-    stack = hierarchy[::-1]
-    cur_graph = current
-    for dg, fine_to_coarse in stack:
-        bw = np.zeros(k, dtype=np.int64)
-        cvw = np.concatenate([s.vwgt for s in cur_graph.shards])
-        np.add.at(bw, partition, cvw)
-        distributed_lp_refine(
-            cur_graph, partition, bw, k, lmax, cfg.refine_rounds, cfg.batches
-        )
-        _rebalance_distributed(cur_graph, partition, bw, k, lmax)
-        cur_graph.free()
-        partition = partition[fine_to_coarse]
-        cur_graph = dg
-    # top level refinement
-    bw = np.zeros(k, dtype=np.int64)
-    tvw = np.concatenate([s.vwgt for s in cur_graph.shards])
-    np.add.at(bw, partition, tvw)
-    distributed_lp_refine(
-        cur_graph, partition, bw, k, lmax, cfg.refine_rounds, cfg.batches
-    )
-    _rebalance_distributed(cur_graph, partition, bw, k, lmax)
+                cut = PartitionedGraph(coarsest, k, part).cut_weight()
+                if best_cut is None or cut < best_cut:
+                    best_cut, best_part = cut, part
+            comm.bcast(best_part)
+            for r, aid in enumerate(copy_aids):
+                comm.trackers[r].free(aid)
+
+        # ---- uncoarsening ---- #
+        partition = best_part.astype(np.int32)
+        lmax = max_block_weight(total_weight, k, cfg.epsilon)
+        stack = hierarchy[::-1]
+        cur_graph = current
+        rlevel = len(hierarchy)
+        with tracer.phase("dist-refinement"):
+            for dg, fine_to_coarse in stack:
+                with tracer.phase(
+                    f"dist-refinement-level{rlevel}", level=rlevel
+                ):
+                    bw = np.zeros(k, dtype=np.int64)
+                    cvw = np.concatenate([s.vwgt for s in cur_graph.shards])
+                    np.add.at(bw, partition, cvw)
+                    distributed_lp_refine(
+                        cur_graph,
+                        partition,
+                        bw,
+                        k,
+                        lmax,
+                        cfg.refine_rounds,
+                        cfg.batches,
+                        tracer=tracer,
+                        level=rlevel,
+                    )
+                    with tracer.span("dist-rebalance", level=rlevel):
+                        _rebalance_distributed(
+                            cur_graph, partition, bw, k, lmax
+                        )
+                cur_graph.free()
+                partition = partition[fine_to_coarse]
+                cur_graph = dg
+                rlevel -= 1
+            # top level refinement
+            with tracer.phase("dist-refinement-level0", level=0):
+                bw = np.zeros(k, dtype=np.int64)
+                tvw = np.concatenate([s.vwgt for s in cur_graph.shards])
+                np.add.at(bw, partition, tvw)
+                distributed_lp_refine(
+                    cur_graph,
+                    partition,
+                    bw,
+                    k,
+                    lmax,
+                    cfg.refine_rounds,
+                    cfg.batches,
+                    tracer=tracer,
+                    level=0,
+                )
+                with tracer.span("dist-rebalance", level=0):
+                    _rebalance_distributed(cur_graph, partition, bw, k, lmax)
 
     cut = _graph_cut(cur_graph, partition)
     avg = total_weight / k
@@ -326,6 +424,14 @@ def dpartition(
     )
     modeled = _modeled_seconds(dgraph, comm, k)
     top.free()
+    trace_obj = None
+    obs_payload = None
+    if tracer.enabled:
+        tracer.finish()
+        from repro.obs.dist.report import dist_obs_registry
+
+        trace_obj = tracer
+        obs_payload = dist_obs_registry(tracer)
     return DistPartitionResult(
         partition=partition,
         cut=cut,
@@ -340,6 +446,8 @@ def dpartition(
         modeled_seconds=modeled,
         num_levels=len(hierarchy),
         oom=oom,
+        trace=trace_obj,
+        obs=obs_payload,
     )
 
 

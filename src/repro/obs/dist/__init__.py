@@ -1,0 +1,45 @@
+"""Distributed observability: per-rank span trees rolled up cluster-wide.
+
+One :class:`ClusterObserver` mirrors every driver phase onto one
+:class:`~repro.obs.tracer.SpanTracer` per rank (each coupled to that rank's
+:class:`~repro.memory.tracker.MemoryTracker` on the :class:`SimComm`),
+instruments every collective with per-phase raw-vs-varint byte accounting,
+and collapses into the merged Chrome trace, the cluster memory waterfall,
+and the memory-ratio report.  See DESIGN.md §12.
+"""
+
+from repro.obs.dist.cluster import (
+    NULL_CLUSTER_OBSERVER,
+    ClusterObserver,
+    CommEvent,
+    NullClusterObserver,
+    varint_payload_nbytes,
+)
+from repro.obs.dist.report import (
+    dist_obs_registry,
+    memory_ratio_report,
+    render_memory_ratio,
+)
+from repro.obs.dist.rollup import (
+    cluster_chrome_trace,
+    cluster_chrome_trace_events,
+    cluster_rollup,
+    cluster_waterfall,
+    write_cluster_trace,
+)
+
+__all__ = [
+    "ClusterObserver",
+    "CommEvent",
+    "NULL_CLUSTER_OBSERVER",
+    "NullClusterObserver",
+    "cluster_chrome_trace",
+    "cluster_chrome_trace_events",
+    "cluster_rollup",
+    "cluster_waterfall",
+    "dist_obs_registry",
+    "memory_ratio_report",
+    "render_memory_ratio",
+    "varint_payload_nbytes",
+    "write_cluster_trace",
+]

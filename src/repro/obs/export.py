@@ -25,16 +25,27 @@ from repro.obs.tracer import Span, SpanTracer
 PID = 1  # single-process reproduction
 
 
-def chrome_trace_events(tracer: SpanTracer) -> list[dict]:
-    """The flat ``traceEvents`` list for a finished tracer."""
+def chrome_trace_events(
+    tracer: SpanTracer,
+    *,
+    pid: int = PID,
+    process_name: str = "repro.partition",
+) -> list[dict]:
+    """The flat ``traceEvents`` list for a finished tracer.
+
+    ``pid``/``process_name`` select the process lane the events land in:
+    the shared-memory exporter keeps the single-process default, while the
+    distributed roll-up (:mod:`repro.obs.dist.rollup`) emits one process
+    per rank so the merged trace shows one track per rank.
+    """
     events: list[dict] = [
         {
             "name": "process_name",
             "ph": "M",
             "ts": 0,
-            "pid": PID,
+            "pid": pid,
             "tid": 0,
-            "args": {"name": "repro.partition"},
+            "args": {"name": process_name},
         }
     ]
     tids = sorted({s.tid for s in tracer.spans} | {0})
@@ -44,7 +55,7 @@ def chrome_trace_events(tracer: SpanTracer) -> list[dict]:
                 "name": "thread_name",
                 "ph": "M",
                 "ts": 0,
-                "pid": PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {
                     "name": "driver" if tid == 0 else f"vthread-{tid}"
@@ -66,12 +77,12 @@ def chrome_trace_events(tracer: SpanTracer) -> list[dict]:
                 "name": span.name,
                 "ph": "B",
                 "ts": span.t_start * 1e6,
-                "pid": PID,
+                "pid": pid,
                 "tid": span.tid,
                 "args": args,
             }
         )
-        events.append(_mem_counter(span.t_start, span.mem_enter))
+        events.append(_mem_counter(span.t_start, span.mem_enter, pid))
         for child in kids.get(span.sid, []):
             emit(child)
         end_args: dict = {
@@ -88,24 +99,24 @@ def chrome_trace_events(tracer: SpanTracer) -> list[dict]:
                 "name": span.name,
                 "ph": "E",
                 "ts": span.t_end * 1e6,
-                "pid": PID,
+                "pid": pid,
                 "tid": span.tid,
                 "args": end_args,
             }
         )
-        events.append(_mem_counter(span.t_end, span.mem_exit))
+        events.append(_mem_counter(span.t_end, span.mem_exit, pid))
 
     for root in kids.get(-1, []):
         emit(root)
     return events
 
 
-def _mem_counter(t: float, bytes_now: int) -> dict:
+def _mem_counter(t: float, bytes_now: int, pid: int = PID) -> dict:
     return {
         "name": "ledger-bytes",
         "ph": "C",
         "ts": t * 1e6,
-        "pid": PID,
+        "pid": pid,
         "tid": 0,
         "args": {"bytes": int(bytes_now)},
     }

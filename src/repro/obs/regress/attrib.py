@@ -22,7 +22,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterable
 
-_LEVEL_RE = re.compile(r"(-level\d+|-round\d+)$")
+_LEVEL_RE = re.compile(r"(-level\d+|-round\d+|-rank\d+)$")
 
 #: profile sections: (key, how runs aggregate, human metric name)
 PROFILE_KEYS = ("wall", "bytes", "kernel_wall", "kernel_bytes")
@@ -48,13 +48,27 @@ KNOWN_PHASES = frozenset(
         "refinement",
         "lp-refinement",
         "fm-pass",
+        # distributed driver (repro.dist, DESIGN.md §12); mirrored onto
+        # every rank track by the ClusterObserver
+        "dist-partition",  # distributed root span
+        "dist-distribute",
+        "dist-coarsening",
+        "dist-lp",
+        "dist-contract",
+        "dist-initial",
+        "dist-refinement",
+        "dist-refine",  # per-round refinement kernel
+        "dist-rebalance",
+        "ghost-exchange",
     }
 )
 
 
 def normalize_phase(name: str) -> str:
-    """Strip the per-level / per-round suffix: ``refinement-level3`` ->
-    ``refinement``, ``clustering-2p-round1`` -> ``clustering-2p``."""
+    """Strip the per-level / per-round / per-rank suffix:
+    ``refinement-level3`` -> ``refinement``, ``clustering-2p-round1`` ->
+    ``clustering-2p``, ``dist-lp-round2`` -> ``dist-lp``,
+    ``shard-load-rank3`` -> ``shard-load``."""
     return _LEVEL_RE.sub("", name)
 
 

@@ -49,6 +49,13 @@ DEFAULT_NEUTRAL_BANDS = {
     "p99_seconds": 0.30,
     "warm_over_full": 0.25,
     "cut_overhead": 0.02,
+    # dist-kind metrics: ledger peaks and collective byte counts are
+    # deterministic (tight); memory_ratio divides two such peaks, so small
+    # shifts in either side compound -- give it a little more room
+    "max_rank_peak_bytes": 0.02,
+    "memory_ratio": 0.05,
+    "comm_raw_bytes": 0.02,
+    "comm_varint_bytes": 0.02,
 }
 
 #: record kinds the baseline/compare machinery consumes by default

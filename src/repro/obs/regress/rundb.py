@@ -27,7 +27,7 @@ import time
 from collections.abc import Callable, Iterable
 from pathlib import Path
 
-RUNDB_SCHEMA = 3
+RUNDB_SCHEMA = 4
 
 #: metrics of a partition-kind record, in report order
 PARTITION_METRICS = (
@@ -46,6 +46,19 @@ SERVICE_METRICS = (
     "p99_seconds",
     "warm_over_full",
     "cut_overhead",
+)
+
+#: gated metrics of a dist-kind record (all lower-is-better): quality, the
+#: worst single-rank ledger peak, the cluster memory ratio (max rank peak /
+#: mean rank peak — 1.0 is perfectly even, the paper's tera-scale runs stay
+#: under ~2), and the raw / compressed communication volumes
+DIST_METRICS = (
+    "cut",
+    "max_rank_peak_bytes",
+    "memory_ratio",
+    "comm_raw_bytes",
+    "comm_varint_bytes",
+    "wall_seconds",
 )
 
 
@@ -185,6 +198,49 @@ def make_service_record(
     }
 
 
+def make_dist_record(
+    bench: str,
+    *,
+    algorithm: str,
+    instance: str,
+    k: int,
+    seed: int,
+    metrics: dict,
+    label: str | None = None,
+    config=None,
+    obs: dict | None = None,
+    env: dict | None = None,
+    timestamp: float | None = None,
+) -> dict:
+    """Stamp one distributed partitioner run into a v4 DB record.
+
+    Dist records carry the partition identity + quality fields plus the
+    cluster-observability metrics of :data:`DIST_METRICS` flat in the
+    ``run`` section (rank count, per-rank peak spread, communication
+    volumes raw vs varint-compressed).  ``obs`` holds the full
+    memory-ratio report + per-phase rollup
+    (:func:`~repro.obs.dist.report.dist_obs_registry`), condensed or
+    dropped by the baseline capture exactly like traced partition runs.
+    """
+    return {
+        "schema": RUNDB_SCHEMA,
+        "kind": "dist",
+        "bench": bench,
+        "label": label,
+        "recorded_unix": time.time() if timestamp is None else timestamp,
+        "env": env if env is not None else environment_stamp(),
+        "config": config_stamp(config) if config is not None else None,
+        "run": {
+            "algorithm": algorithm,
+            "instance": instance,
+            "k": int(k),
+            "seed": int(seed),
+            **{str(m): v for m, v in metrics.items()},
+        },
+        "obs": obs,
+    }
+
+
 def make_microbench_record(
     bench: str,
     metrics: dict,
@@ -219,8 +275,11 @@ def migrate_record(rec: dict) -> dict:
     * schema 2: pre-service records (kinds ``partition``/``microbench``
       only); identical layout, so migration just fills optional fields and
       restamps the version.
-    * schema 3: current; adds the ``service`` record kind (replayed-trace
-      serving benchmarks, :func:`make_service_record`).
+    * schema 3: adds the ``service`` record kind (replayed-trace serving
+      benchmarks, :func:`make_service_record`); layout unchanged since.
+    * schema 4: current; adds the ``dist`` record kind (distributed
+      partitioner runs with cluster-observability metrics,
+      :func:`make_dist_record`).
 
     Records from a *future* schema raise — refusing to silently reinterpret
     data written by newer code.

@@ -1,0 +1,7 @@
+"""Known-bad distributed phase discipline: off-vocabulary dist names."""
+
+
+def bad_dist_phases(tracer):
+    with tracer.phase("dist-partion"):  # PH001: typo not in KNOWN_PHASES
+        with tracer.span("ghost-xchg-rank0"):  # PH001: wrong spelling
+            pass

@@ -1,0 +1,18 @@
+"""Known-good distributed phase discipline: dist vocabulary + suffixes."""
+
+
+def drives_dist_phases(tracer, hierarchy):
+    with tracer.phase("dist-partition"):
+        with tracer.phase("dist-coarsening"):
+            for level in range(2):
+                with tracer.phase(f"dist-lp-level{level}", level=level):
+                    for rnd in range(3):
+                        with tracer.span(f"dist-lp-round{rnd}", level=level):
+                            with tracer.span("ghost-exchange", level=level):
+                                pass
+                with tracer.phase(f"dist-contract-level{level}", level=level):
+                    pass
+        with tracer.phase("dist-refinement"):
+            with tracer.phase("dist-refinement-level0", level=0):
+                with tracer.span("dist-rebalance", level=0):
+                    pass

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dist.comm import SimComm
+from repro.dist.comm import SimComm, _nbytes
 
 
 class TestCollectives:
@@ -79,3 +79,85 @@ class TestStats:
         comm.trackers[1].alloc("y", 300)
         assert comm.max_rank_peak_bytes() == 300
         assert comm.rank_peaks() == [100, 300]
+
+
+class TestPayloadSizing:
+    """``_nbytes`` against hand-computed wire sizes."""
+
+    def test_array_is_true_buffer_size(self):
+        assert _nbytes(np.zeros(10, dtype=np.int64)) == 80
+        assert _nbytes(np.zeros(10, dtype=np.int32)) == 40
+        assert _nbytes(np.zeros((3, 4), dtype=np.float64)) == 96
+        assert _nbytes(np.empty(0, dtype=np.int64)) == 0
+
+    def test_buffers_and_scalars(self):
+        assert _nbytes(b"abcd") == 4
+        assert _nbytes(bytearray(7)) == 7
+        assert _nbytes(True) == 1
+        assert _nbytes(np.bool_(False)) == 1
+        assert _nbytes(3) == 8
+        assert _nbytes(2.5) == 8
+        assert _nbytes(np.int32(3)) == 8
+        assert _nbytes("héllo") == len("héllo".encode("utf-8"))
+        assert _nbytes(None) == 0
+
+    def test_containers_recurse(self):
+        payload = [np.zeros(5, dtype=np.int64), (1, 2.0), None]
+        assert _nbytes(payload) == 40 + 16 + 0
+        assert _nbytes({"k": np.zeros(2, dtype=np.int64)}) == 1 + 16
+
+    def test_alltoallv_traffic_hand_computed(self):
+        comm = SimComm(3)
+        a = np.zeros(4, dtype=np.int64)  # 32 bytes
+        send = [[a, a, a] for _ in range(3)]
+        comm.alltoallv(send)
+        # 6 off-diagonal messages of 32 bytes each
+        assert comm.stats.bytes_sent == 6 * 32
+        assert comm.stats.messages == 6
+
+    def test_allgather_traffic_hand_computed(self):
+        comm = SimComm(4)
+        comm.allgather([np.zeros(2, dtype=np.int64)] * 4)  # 16 B per rank
+        # each rank's 16 B item travels to the other 3 ranks
+        assert comm.stats.bytes_sent == 4 * 16 * 3
+
+    def test_allreduce_traffic_hand_computed(self):
+        comm = SimComm(3)
+        comm.allreduce([np.zeros(8, dtype=np.int64)] * 3)  # 64 B operand
+        # reduce-then-broadcast tree: 2 traversals of (size-1) links
+        assert comm.stats.bytes_sent == 64 * 2 * 2
+
+    def test_bcast_traffic_hand_computed(self):
+        comm = SimComm(4)
+        comm.bcast(np.zeros(3, dtype=np.int64))  # 24 B to 3 other ranks
+        assert comm.stats.bytes_sent == 24 * 3
+        assert comm.stats.messages == 3
+
+
+class TestPerKindStats:
+    def test_by_kind_split(self):
+        comm = SimComm(2)
+        a = np.zeros(4, dtype=np.int64)
+        comm.alltoallv([[a, a], [a, a]])
+        comm.alltoallv([[a, a], [a, a]])
+        comm.allreduce([np.zeros(1, dtype=np.int64)] * 2)
+        comm.bcast(7)
+        comm.barrier()
+        kinds = comm.stats.by_kind
+        assert kinds["alltoallv"].calls == 2
+        assert kinds["alltoallv"].bytes_sent == 2 * 2 * 32
+        assert kinds["allreduce"].calls == 1
+        assert kinds["allreduce"].bytes_sent == 8 * 2 * 1
+        assert kinds["bcast"].bytes_sent == 8
+        assert kinds["barrier"].calls == 1
+        assert kinds["barrier"].bytes_sent == 0
+        # the aggregate is exactly the sum of the per-kind split
+        assert comm.stats.bytes_sent == sum(
+            k.bytes_sent for k in kinds.values()
+        )
+        assert comm.stats.messages == sum(
+            k.messages for k in kinds.values()
+        )
+        assert comm.stats.supersteps == sum(
+            k.calls for k in kinds.values()
+        )

@@ -141,6 +141,38 @@ class TestPhaseDiscipline:
         }
         assert all(f.code == "PH001" and f.severity == "error" for f in findings)
 
+    def test_dist_vocabulary_clean(self):
+        """The distributed driver's phase vocabulary (dist-* names with
+        -levelN/-roundN suffixes, ghost-exchange, tracer receivers) passes."""
+        assert lint_one(FIXTURES / "phase_dist_good.py") == []
+
+    def test_unknown_dist_phase_still_flagged(self):
+        """Near-miss dist spellings stay PH001 errors, including with a
+        -rankN suffix (stripped by normalize_phase before the check)."""
+        findings = lint_one(
+            FIXTURES / "phase_dist_bad.py", "phase-discipline"
+        )
+        assert codes_at(findings) == {("PH001", 5), ("PH001", 6)}
+        assert all(f.severity == "error" for f in findings)
+
+    def test_rank_suffix_normalizes(self):
+        from repro.obs.regress.attrib import normalize_phase
+
+        assert normalize_phase("dist-lp-round2") == "dist-lp"
+        assert normalize_phase("dist-refinement-level3") == "dist-refinement"
+        assert normalize_phase("shard-load-rank7") == "shard-load"
+        assert normalize_phase("ghost-exchange") == "ghost-exchange"
+
+    def test_real_dist_spans_resolve_statically(self):
+        """Every span/phase name in the distributed driver must resolve
+        and land in KNOWN_PHASES -- no PH003, no PH001."""
+        from repro.analysis import phases
+
+        pkg = Path(repro.__file__).parent
+        for rel in ("dist/dpartitioner.py", "dist/dlp.py"):
+            mod = load_module(pkg / rel)
+            assert phases.run(mod) == [], rel
+
 
 # --------------------------------------------------------------------- #
 # suppressions and baseline mechanics

@@ -8,6 +8,7 @@ from repro.bench.harness import RunRecord
 from repro.core import config as C
 from repro.core.config import config_digest
 from repro.obs.regress.rundb import (
+    DIST_METRICS,
     RUNDB_SCHEMA,
     SERVICE_METRICS,
     RunDB,
@@ -15,6 +16,7 @@ from repro.obs.regress.rundb import (
     default_rundb,
     environment_stamp,
     latest_per_key,
+    make_dist_record,
     make_microbench_record,
     make_record,
     make_service_record,
@@ -146,7 +148,80 @@ class TestServiceRecords:
         assert db.query(kind="service", algorithm="serve-terapart")
         assert not db.query(kind="service", k=4)
 
-    def test_v2_record_migrates_to_v3(self):
+
+def _dist_metrics(**overrides):
+    m = {
+        "cut": 278,
+        "balanced": True,
+        "imbalance": 0.01,
+        "wall_seconds": 0.3,
+        "ranks": 4,
+        "max_rank_peak_bytes": 76410,
+        "memory_ratio": 1.014,
+        "ghost_fraction": 0.058,
+        "comm_raw_bytes": 16220,
+        "comm_varint_bytes": 2890,
+        "comm_messages": 402,
+    }
+    m.update(overrides)
+    return m
+
+
+class TestDistRecords:
+    def test_make_dist_record_shape(self):
+        rec = make_dist_record(
+            "dist-smoke",
+            algorithm="xterapart-r4",
+            instance="fem-grid",
+            k=8,
+            seed=0,
+            metrics=_dist_metrics(),
+            label="pr9",
+            obs={"schema": 1, "report": {"memory_ratio": 1.014}},
+            env={},
+            timestamp=9.0,
+        )
+        assert rec["schema"] == RUNDB_SCHEMA
+        assert rec["kind"] == "dist"
+        assert rec["bench"] == "dist-smoke"
+        # same comparable identity as a partition record...
+        assert run_key(rec) == ("xterapart-r4", "fem-grid", 8, 0)
+        # ...with the flat cluster metrics in the run section
+        assert rec["run"]["memory_ratio"] == 1.014
+        assert rec["run"]["comm_varint_bytes"] == 2890
+        assert rec["obs"]["report"]["memory_ratio"] == 1.014
+
+    def test_gated_metrics_all_present(self):
+        rec = make_dist_record(
+            "d", algorithm="a", instance="i", k=2, seed=0,
+            metrics=_dist_metrics(), env={},
+        )
+        for m in DIST_METRICS:
+            assert m in rec["run"]
+
+    def test_db_roundtrip_and_kind_query(self, tmp_path):
+        db = RunDB(tmp_path / "runs.jsonl")
+        db.append(make_record(_rr(), bench="smoke", env={}))
+        db.append(
+            make_dist_record(
+                "dist-smoke",
+                algorithm="xterapart-r4",
+                instance="fem-grid",
+                k=8,
+                seed=0,
+                metrics=_dist_metrics(),
+                env={},
+            )
+        )
+        loaded = db.load()
+        assert [r["kind"] for r in loaded] == ["partition", "dist"]
+        dist = db.query(kind="dist")
+        assert len(dist) == 1
+        assert dist[0]["run"]["max_rank_peak_bytes"] == 76410
+        assert db.query(kind="dist", algorithm="xterapart-r4")
+        assert not db.query(kind="dist", k=4)
+
+    def test_v2_record_migrates_to_current(self):
         """Pre-service records restamp cleanly; kind defaults hold."""
         v2 = {
             "schema": 2,
@@ -155,21 +230,40 @@ class TestServiceRecords:
             "run": {"algorithm": "terapart", "cut": 5},
         }
         rec = migrate_record(v2)
-        assert rec["schema"] == RUNDB_SCHEMA == 3
+        assert rec["schema"] == RUNDB_SCHEMA == 4
         assert rec["kind"] == "partition"
         assert rec["run"]["cut"] == 5
         assert rec["label"] is None and rec["obs"] is None
 
-    def test_v2_file_loads_under_v3(self, tmp_path):
+    def test_v3_record_migrates_to_v4(self):
+        """Pre-dist (service-era) records restamp cleanly, payload intact."""
+        v3 = {
+            "schema": 3,
+            "kind": "service",
+            "bench": "service-smoke",
+            "label": "pr7",
+            "run": {"algorithm": "serve-terapart", "cut_overhead": 0.98},
+            "obs": {"counters": {"serve.requests": 16}},
+        }
+        rec = migrate_record(v3)
+        assert rec["schema"] == RUNDB_SCHEMA == 4
+        assert rec["kind"] == "service"
+        assert rec["run"]["cut_overhead"] == 0.98
+        assert rec["obs"]["counters"]["serve.requests"] == 16
+
+    def test_old_files_load_under_v4(self, tmp_path):
         path = tmp_path / "runs.jsonl"
         lines = [
             json.dumps({"schema": 2, "kind": "partition", "run": {"cut": 1}}),
+            json.dumps({"schema": 3, "kind": "service", "run": {"cut": 2}}),
             json.dumps({"csr_ns_per_edge": 9.8}),  # schema-0 legacy
         ]
         path.write_text("\n".join(lines) + "\n")
         recs = RunDB(path).load()
-        assert [r["schema"] for r in recs] == [RUNDB_SCHEMA, RUNDB_SCHEMA]
-        assert [r["kind"] for r in recs] == ["partition", "microbench"]
+        assert [r["schema"] for r in recs] == [RUNDB_SCHEMA] * 3
+        assert [r["kind"] for r in recs] == [
+            "partition", "service", "microbench",
+        ]
 
 
 class TestConfigStamp:
