@@ -13,12 +13,17 @@ Passes (`repro lint --passes` selects a subset):
 
 * ``parallel-access``   PA001-PA005  declarations vs kernel ASTs
 * ``untracked-alloc``   UA001        allocations outside the ledger
+* ``buffer-lifetime``   BL001-BL003  flow-sensitive escape analysis
 * ``int-width``         IW001-IW002  narrowing stores / casts
-* ``phase-discipline``  PH001-PH003  phase-name vocabulary + span hygiene
+* ``phase-discipline``  PH001-PH004  phase vocabulary + span hygiene/flow
+
+``buffer-lifetime``, the ``int-width`` dtype lattice and ``PH004`` run on
+the CFG + fixpoint machinery in :mod:`repro.analysis.dataflow`.
 
 The gate (``repro lint --gate``) fails only on findings that are neither
-inline-suppressed (``# repro-lint: ignore[...]``) nor covered by the
-committed baseline (:mod:`repro.analysis.baseline`).
+inline-suppressed (``# repro-lint: ignore[...] -- reason``) nor covered by
+the committed baseline (:mod:`repro.analysis.baseline`).  Suppressions
+without a reason still work but are listed as legacy bare ignores.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from pathlib import Path
 from repro.analysis import (
     allocations,
     baseline as baseline_mod,
+    bufferlife,
     intwidth,
     parallel_access,
     phases,
@@ -53,6 +59,7 @@ __all__ = [
 _PASSES = {
     parallel_access.PASS_ID: parallel_access.run,
     allocations.PASS_ID: allocations.run,
+    bufferlife.PASS_ID: bufferlife.run,
     intwidth.PASS_ID: intwidth.run,
     phases.PASS_ID: phases.run,
 }
@@ -91,11 +98,13 @@ def lint_paths(
 
     findings: list[Finding] = []
     suppressed = 0
+    bare: list[str] = []
     files = iter_python_files(paths)
     for path in files:
         mod = load_module(path, repo_root)
         if mod.skip_file:
             continue
+        bare.extend(f"{mod.rel}:{line}" for line in mod.bare_ignores())
         for pid in selected:
             for f in _PASSES[pid](mod):
                 if mod.suppressed(f):
@@ -108,6 +117,7 @@ def lint_paths(
     report = baseline_mod.apply(findings, accepted)
     report.suppressed = suppressed
     report.files_checked = len(files)
+    report.bare_suppressions = bare
     return report
 
 
@@ -126,6 +136,14 @@ def render_text(report: LintReport, *, gate: bool = False) -> str:
             "`repro lint --update-baseline`):"
         )
         lines.extend(f"  {fp}" for fp in report.stale_baseline)
+    if report.bare_suppressions:
+        lines.append("")
+        lines.append(
+            f"{len(report.bare_suppressions)} legacy bare ignore"
+            f"{'' if len(report.bare_suppressions) == 1 else 's'} "
+            "(add `-- <reason>` to each `# repro-lint: ignore[...]`):"
+        )
+        lines.extend(f"  {loc}" for loc in report.bare_suppressions)
     lines.append("")
     by_pass = ", ".join(f"{k}={v}" for k, v in report.by_pass().items())
     lines.append(

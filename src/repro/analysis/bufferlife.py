@@ -1,0 +1,134 @@
+"""Pass 5: flow-sensitive buffer lifetime / escape analysis (BL001-BL003).
+
+The syntactic ``untracked-alloc`` pass (UA001) can say *this function
+allocated without ledger evidence*; it cannot say what the right fix is.
+This pass runs the :mod:`repro.analysis.dataflow` escape analysis over
+every function in the accounting-critical subpackages and classifies each
+raw allocation:
+
+* ``BL001`` (warning) -- the buffer is **phase-local**: it provably dies
+  with the function frame (before the enclosing ``tracker.phase`` / span
+  block exits) and never escapes via return, attribute store, container,
+  or closure.  The finding carries the auto-fix: the matching
+  ``tracked_*`` constructor from :mod:`repro.memory.scratch`.
+* ``BL002`` (error) -- the buffer **escapes** (returned, stored into an
+  attribute or escaping container, captured by a closure) and never
+  reaches the ledger.  Escaping bytes live past the phase, so the
+  tracker's per-phase peaks are silently wrong; register the buffer
+  (``tracked_*`` works for escapees too -- the charge follows the array's
+  lifetime via ``weakref.finalize``) or justify a suppression.
+* ``BL003`` (warning) -- escape status is **unknown** (e.g. passed to a
+  callee outside the module's call graph); prove it or register it.
+
+Allocations whose aliases reach ``MemoryTracker.alloc``/``touch``/
+``resize``, a ``tracked_*`` constructor, or a ``_charge*`` helper are
+ledger-registered and never reported.  The UA001 small-constant
+exemption applies unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.allocations import (
+    EXCLUDE,
+    SMALL_LIMIT,
+    _const_elements,
+    _in_scope,
+    _scope_covered,
+)
+from repro.analysis.core import Finding, Module
+from repro.analysis.dataflow import (
+    ESCAPES,
+    LOCAL,
+    REGISTERED,
+    TRACKED_FOR,
+    ModuleSummaries,
+    analyze_function,
+)
+
+PASS_ID = "buffer-lifetime"
+
+
+def _hint(kind: str) -> str:
+    ctor = TRACKED_FOR.get(kind)
+    if ctor is not None:
+        return (
+            f"auto-fix: replace with {ctor}(...) from repro.memory.scratch "
+            "(same signature plus name=)"
+        )
+    return (
+        "charge it via MemoryTracker.alloc/free (bytearray cannot be "
+        "weakref-finalized by the scratch ledger)"
+    )
+
+
+def run(mod: Module) -> list[Finding]:
+    if any(mod.rel.startswith(p) for p in EXCLUDE) or not _in_scope(mod.rel):
+        return []
+    findings: list[Finding] = []
+    summaries = ModuleSummaries(mod)
+    for fn in ast.walk(mod.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # honor the bulk-charge idiom: a function that shows ledger evidence
+        # (tracker.alloc region charges, tracked_* calls, _charge helpers)
+        # accounts its buffers at function granularity already; re-flagging
+        # its sites per-buffer would push migrations that double-count
+        if _scope_covered(mod, fn):
+            continue
+        result = analyze_function(mod, fn, summaries)
+        for site in result.sites:
+            if site.node is not None and isinstance(site.node, ast.Call):
+                elems = _const_elements(site.node)
+                if elems is not None and elems <= SMALL_LIMIT:
+                    continue
+            verdict = result.verdicts[site.sid]
+            if verdict.status == REGISTERED:
+                continue
+            scope = mod.qualname(site.node)
+            subject = f"{scope}:{site.kind}"
+            if verdict.status == LOCAL:
+                findings.append(
+                    Finding(
+                        PASS_ID,
+                        "BL001",
+                        "warning",
+                        mod.rel,
+                        site.line,
+                        f"{site.kind}() in {scope} is phase-local (dies "
+                        "before the enclosing phase exits, never escapes) "
+                        f"but bypasses the ledger; {_hint(site.kind)}",
+                        subject=subject,
+                    )
+                )
+            elif verdict.status == ESCAPES:
+                findings.append(
+                    Finding(
+                        PASS_ID,
+                        "BL002",
+                        "error",
+                        mod.rel,
+                        site.line,
+                        f"{site.kind}() in {scope} escapes "
+                        f"({verdict.how}) and never reaches the memory "
+                        "ledger; escaping buffers must be registered "
+                        "(tracked_* charges follow the array's lifetime)",
+                        subject=subject,
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        PASS_ID,
+                        "BL003",
+                        "warning",
+                        mod.rel,
+                        site.line,
+                        f"cannot prove {site.kind}() in {scope} phase-local "
+                        f"({verdict.how}); register it with the ledger or "
+                        "suppress with a reason",
+                        subject=subject,
+                    )
+                )
+    return findings

@@ -10,9 +10,12 @@ finding is about) -- for two consumers:
   (pass, file, code, subject), deliberately *without* line numbers, so
   unrelated edits that shift lines do not churn the committed baseline.
 
-Inline suppressions use ``# repro-lint: ignore[<pass-or-code>, ...]`` on
-the offending line or the line directly above it; ``# repro-lint:
-skip-file`` anywhere in the first ten lines exempts a whole module.
+Inline suppressions use ``# repro-lint: ignore[<pass-or-code>, ...] --
+<reason>`` on the offending line or the line directly above it; the
+reason after ``--`` is required on new suppressions (a suppression
+without one still works but is reported as a legacy *bare ignore* so the
+gate output lists the debt).  ``# repro-lint: skip-file`` anywhere in the
+first ten lines exempts a whole module.
 """
 
 from __future__ import annotations
@@ -26,11 +29,16 @@ from pathlib import Path
 PASS_IDS = (
     "parallel-access",
     "untracked-alloc",
+    "buffer-lifetime",
     "int-width",
     "phase-discipline",
 )
 
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]+)\]")
+#: the lookbehind keeps backtick-quoted doc text (``# repro-lint: ...``)
+#: from registering as a real suppression
+_SUPPRESS_RE = re.compile(
+    r"(?<!`)#\s*repro-lint:\s*ignore\[([^\]]+)\](?:\s*--\s*(\S.*?)\s*$)?"
+)
 _SKIP_FILE_RE = re.compile(r"#\s*repro-lint:\s*skip-file")
 
 
@@ -71,14 +79,17 @@ class Module:
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
                 self._parents[child] = parent
-        # suppressions: line -> set of pass-ids/codes (lowercased)
+        # suppressions: line -> set of pass-ids/codes (lowercased);
+        # reasons: line -> the text after "--" (None for legacy bare ignores)
         self.suppressions: dict[int, set[str]] = {}
+        self.suppression_reasons: dict[int, str | None] = {}
         self.skip_file = False
         for i, text in enumerate(self.lines, start=1):
             m = _SUPPRESS_RE.search(text)
             if m:
                 ids = {t.strip().lower() for t in m.group(1).split(",")}
                 self.suppressions[i] = ids
+                self.suppression_reasons[i] = m.group(2)
             if i <= 10 and _SKIP_FILE_RE.search(text):
                 self.skip_file = True
         # numpy import aliases ("np" for `import numpy as np`)
@@ -137,6 +148,14 @@ class Module:
                 return True
         return False
 
+    def bare_ignores(self) -> list[int]:
+        """Lines of legacy suppressions missing the ``-- <reason>`` text."""
+        return sorted(
+            line
+            for line, reason in self.suppression_reasons.items()
+            if reason is None
+        )
+
 
 def terminal_name(node: ast.AST) -> str | None:
     """Rightmost-but-one identifier of a call receiver.
@@ -193,6 +212,8 @@ class LintReport:
     suppressed: int = 0
     files_checked: int = 0
     stale_baseline: list[str] = field(default_factory=list)
+    # "file:line" of suppressions with no `-- reason` (legacy bare ignores)
+    bare_suppressions: list[str] = field(default_factory=list)
 
     def by_pass(self) -> dict[str, int]:
         out = {p: 0 for p in PASS_IDS}
@@ -209,4 +230,5 @@ class LintReport:
             "suppressed": self.suppressed,
             "by_pass": self.by_pass(),
             "stale_baseline": self.stale_baseline,
+            "bare_suppressions": self.bare_suppressions,
         }

@@ -1,0 +1,78 @@
+"""Lightweight intra-module call graph with per-function summaries.
+
+The escape analysis is intra-procedural; this module adds exactly one
+level of inter-procedural precision: when function ``f`` passes a buffer
+to module-local function ``g``, the verdict for the buffer uses ``g``'s
+*summary* -- which of ``g``'s parameters escape / reach the ledger --
+instead of writing the call off as unknown.
+
+Summaries are themselves computed intra-procedurally (a summary
+computation never consults other summaries), which keeps the whole
+scheme one level deep, cycle-proof, and cheap: each function is analyzed
+at most twice per lint run (once for its own findings, once as a callee).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow.escape import analyze_function
+
+__all__ = ["ModuleSummaries", "call_edges"]
+
+
+def _module_functions(mod) -> dict[str, ast.AST]:
+    """Module-level functions by simple name (what a bare call resolves to)."""
+    out: dict[str, ast.AST] = {}
+    for node in mod.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[node.name] = node
+    return out
+
+
+def call_edges(mod) -> dict[str, set[str]]:
+    """Caller qualname -> called module-local function names."""
+    local = _module_functions(mod)
+    edges: dict[str, set[str]] = {}
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id in local:
+            edges.setdefault(mod.qualname(node), set()).add(node.func.id)
+    return edges
+
+
+class ModuleSummaries:
+    """Summary provider handed to :func:`analyze_function`.
+
+    ``param_escape(name)`` returns ``None`` for names that are not
+    module-local functions (imports, builtins, methods), else::
+
+        {"params": [arg names in order],
+         "escape": {arg name: "local"|"escapes"|"unknown"|"registered"}}
+    """
+
+    def __init__(self, mod) -> None:
+        self.mod = mod
+        self.functions = _module_functions(mod)
+        self._cache: dict[str, dict] = {}
+
+    def param_escape(self, name: str) -> dict | None:
+        fn = self.functions.get(name)
+        if fn is None:
+            return None
+        if name not in self._cache:
+            # summaries are intra-procedural: no nested summary lookups
+            result = analyze_function(self.mod, fn, summaries=None)
+            args = fn.args
+            params = [
+                a.arg for a in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs,
+                    *filter(None, (args.vararg, args.kwarg)),
+                )
+            ]
+            self._cache[name] = {
+                "params": params,
+                "escape": result.param_escape,
+            }
+        return self._cache[name]

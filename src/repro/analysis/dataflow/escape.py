@@ -1,0 +1,604 @@
+"""Flow-sensitive buffer lifetime / escape analysis.
+
+Answers, per function, the question the ``buffer-lifetime`` pass asks:
+*does this allocation die inside its phase, or does it escape into a
+longer-lived structure?*  An :class:`AllocSite` is every raw
+``np.empty/zeros/ones/full`` / ``bytearray`` call (and, for call-graph
+summaries, every function parameter).  The analysis tracks which local
+names may alias each site (a may-alias set per variable, joined by union
+at CFG merges, solved to fixpoint) and folds the observable *events*:
+
+* ``return`` / ``yield`` of an alias, storing an alias into an attribute
+  or a known container, capture by a nested function, ``global`` /
+  ``nonlocal`` -- definite **escapes**;
+* passing an alias to an unknown callee or storing it into an object of
+  unknown kind -- **unknown** (cannot prove locality);
+* an alias reaching the ledger (``.alloc``/``.touch``/``.resize``,
+  ``tracked_*``, ``_charge*``) -- **registered** (the ledger sees it, so
+  lifetime no longer matters);
+* none of the above on any path -- **local**: the buffer provably dies
+  with the function frame, i.e. before the enclosing phase exits.
+
+Numpy calls (``np.cumsum(buf)``, ``buf.astype(...)``) never retain their
+arguments and are safe; subscript stores into arrays copy *values*, not
+references, so ``out[mask] = buf`` does not alias.  Module-local callees
+are resolved through :mod:`~repro.analysis.dataflow.callgraph` summaries
+(one inter-procedural level).  Buffers held only by *local* containers
+(``chunks.append(buf)``) inherit the container's own fate, one level of
+indirection deep: the buffer escapes only when ``chunks`` itself does.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow.cfg import build_cfg, header_exprs
+from repro.analysis.dataflow.solver import fixpoint
+
+__all__ = [
+    "AllocSite",
+    "Verdict",
+    "FunctionEscape",
+    "analyze_function",
+    "ALLOC_FUNCS",
+    "TRACKED_FOR",
+    "LOCAL",
+    "ESCAPES",
+    "UNKNOWN",
+    "REGISTERED",
+]
+
+#: raw allocators the pass watches
+ALLOC_FUNCS = ("empty", "zeros", "ones", "full")
+
+#: auto-fix hint: raw allocator -> repro.memory.scratch constructor
+TRACKED_FOR = {
+    "empty": "tracked_empty",
+    "zeros": "tracked_zeros",
+    "ones": "tracked_ones",
+    "full": "tracked_full",
+}
+
+_LEDGER_METHODS = ("alloc", "touch", "resize", "free")
+
+#: builtins that never retain a reference to their arguments (value reads
+#: and shallow copies; arrays hold scalars, so copying elements is safe)
+_SAFE_CALLEES = frozenset(
+    {"len", "int", "float", "bool", "str", "repr", "abs", "min", "max",
+     "sum", "sorted", "print", "isinstance", "range", "enumerate", "id",
+     "hash", "memoryview", "bytes", "format", "round", "divmod", "list",
+     "tuple", "set", "dict", "zip", "map", "filter", "reversed", "iter",
+     "next", "all", "any"}
+)
+
+_CONTAINER_METHODS = ("append", "extend", "insert", "add", "update",
+                      "setdefault", "appendleft", "push")
+
+# verdict statuses, in priority order (highest wins)
+REGISTERED = "registered"
+ESCAPES = "escapes"
+UNKNOWN = "unknown"
+LOCAL = "local"
+_PRIORITY = {REGISTERED: 3, ESCAPES: 2, UNKNOWN: 1, LOCAL: 0}
+
+
+@dataclass
+class AllocSite:
+    sid: int
+    kind: str  # "empty" | "zeros" | ... | "bytearray" | "param"
+    line: int
+    node: ast.AST | None = None
+    var: str | None = None  # first name bound to the site, if any
+    param: str | None = None  # parameter name for kind == "param"
+
+
+@dataclass
+class Verdict:
+    site: AllocSite
+    status: str = LOCAL
+    how: str = ""  # "return" / "attribute-store" / callee detail / ...
+    #: local container variables holding a reference to this site
+    held_by: set[str] = field(default_factory=set)
+
+    def raise_to(self, status: str, how: str) -> None:
+        if _PRIORITY[status] > _PRIORITY[self.status]:
+            self.status = status
+            self.how = how
+
+
+@dataclass
+class FunctionEscape:
+    """Result of analyzing one function."""
+
+    sites: list[AllocSite]  # allocation sites only (no params)
+    verdicts: dict[int, Verdict]
+    #: parameter name -> escape status (the call-graph summary)
+    param_escape: dict[str, str]
+
+    def verdict_for(self, node: ast.AST) -> Verdict | None:
+        for s in self.sites:
+            if s.node is node:
+                return self.verdicts[s.sid]
+        return None
+
+
+class _Analysis:
+    def __init__(self, mod, fn: ast.AST, summaries) -> None:
+        self.mod = mod
+        self.fn = fn
+        self.summaries = summaries  # callgraph provider or None
+        self.sites: list[AllocSite] = []
+        self.by_node: dict[ast.AST, int] = {}
+        self.verdicts: dict[int, Verdict] = {}
+        # variable -> "array" | "container" | None, from its assignments
+        self.var_kind: dict[str, str | None] = {}
+        self.param_sites: dict[str, int] = {}
+        self._collect_sites()
+        self._infer_var_kinds()
+
+    def _mine(self, node: ast.AST) -> bool:
+        return self.mod.enclosing_function(node) is self.fn
+
+    # ------------------------------------------------------------------ #
+    # site discovery
+    # ------------------------------------------------------------------ #
+    def _new_site(self, **kw) -> AllocSite:
+        site = AllocSite(sid=len(self.sites), **kw)
+        self.sites.append(site)
+        self.verdicts[site.sid] = Verdict(site)
+        return site
+
+    def _collect_sites(self) -> None:
+        args = self.fn.args
+        for a in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        ):
+            site = self._new_site(kind="param", line=self.fn.lineno,
+                                  param=a.arg)
+            self.param_sites[a.arg] = site.sid
+        for node in ast.walk(self.fn):
+            if not isinstance(node, ast.Call) or not self._mine(node):
+                continue
+            kind = self.mod.is_np_call(node, ALLOC_FUNCS)
+            if kind is None:
+                if isinstance(node.func, ast.Name) and \
+                        node.func.id == "bytearray":
+                    kind = "bytearray"
+                else:
+                    continue
+            site = self._new_site(kind=kind, line=node.lineno, node=node)
+            self.by_node[node] = site.sid
+
+    def _infer_var_kinds(self) -> None:
+        """Object kind per name from its assignments (conflicts -> None)."""
+        for node in ast.walk(self.fn):
+            if not isinstance(node, ast.Assign) or not self._mine(node):
+                continue
+            if len(node.targets) != 1 or \
+                    not isinstance(node.targets[0], ast.Name):
+                continue
+            name = node.targets[0].id
+            kind = self._value_kind(node.value)
+            if name not in self.var_kind:
+                self.var_kind[name] = kind
+            elif self.var_kind[name] != kind:
+                self.var_kind[name] = None
+
+    def _value_kind(self, v: ast.AST) -> str | None:
+        if isinstance(v, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+            return "container"
+        if isinstance(v, ast.Call):
+            if isinstance(v.func, ast.Name):
+                if v.func.id in ("deque", "defaultdict", "Counter",
+                                 "OrderedDict"):
+                    return "container"
+                if v.func.id in ("list", "dict", "set"):
+                    return "container"
+                if v.func.id.startswith("tracked_"):
+                    return "array"
+            if self.mod.is_np_call(v, ALLOC_FUNCS + (
+                    "arange", "asarray", "array", "full_like", "zeros_like",
+                    "empty_like", "copy", "concatenate", "repeat", "where",
+                    "cumsum", "sort", "unique", "argsort", "searchsorted",
+                    "diff", "frombuffer")) is not None:
+                return "array"
+            if isinstance(v.func, ast.Attribute) and \
+                    v.func.attr in ("astype", "copy", "reshape", "ravel"):
+                return "array"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # alias dataflow
+    # ------------------------------------------------------------------ #
+    def run(self) -> FunctionEscape:
+        cfg = build_cfg(self.fn)
+        entry_env = {
+            name: frozenset((sid,)) for name, sid in self.param_sites.items()
+        }
+
+        def transfer(block, env):
+            for stmt in block.stmts:
+                env = self._apply_stmt(stmt, env)
+            return env
+
+        def join(a, b):
+            out = dict(a)
+            for k, v in b.items():
+                out[k] = out.get(k, frozenset()) | v
+            return out
+
+        ins, _ = fixpoint(cfg, transfer, entry_env, join)
+
+        # replay each block from its solved in-state, folding events
+        for block in cfg.blocks:
+            env = ins[block.bid]
+            if env is None:
+                env = {}  # unreachable: still scan, with empty aliases
+            for stmt in block.stmts:
+                self._scan_events(stmt, env)
+                env = self._apply_stmt(stmt, env)
+
+        self._resolve_containers()
+        param_escape = {
+            s.param: self.verdicts[s.sid].status
+            for s in self.sites if s.kind == "param"
+        }
+        return FunctionEscape(
+            sites=[s for s in self.sites if s.kind != "param"],
+            verdicts=self.verdicts,
+            param_escape=param_escape,
+        )
+
+    # -- transfer ------------------------------------------------------- #
+    def _apply_stmt(self, stmt: ast.AST, env: dict) -> dict:
+        if isinstance(stmt, ast.Assign):
+            new = dict(env)
+            for t in stmt.targets:
+                self._bind_target(t, stmt.value, new, env)
+            return new
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None and \
+                isinstance(stmt.target, ast.Name):
+            new = dict(env)
+            new[stmt.target.id] = self._sites_of(stmt.value, env)
+            return new
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            new = dict(env)
+            for n in ast.walk(stmt.target):
+                if isinstance(n, ast.Name):
+                    new.pop(n.id, None)
+            return new
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new = dict(env)
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for n in ast.walk(item.optional_vars):
+                        if isinstance(n, ast.Name):
+                            new.pop(n.id, None)
+            return new
+        return env
+
+    def _bind_target(self, t, value, new, env) -> None:
+        if isinstance(t, ast.Name):
+            sites = self._sites_of(value, env)
+            new[t.id] = sites
+            for sid in sites:
+                if self.sites[sid].var is None:
+                    self.sites[sid].var = t.id
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            elts = (
+                value.elts
+                if isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == len(t.elts)
+                else None
+            )
+            for i, sub_t in enumerate(t.elts):
+                if elts is not None:
+                    self._bind_target(sub_t, elts[i], new, env)
+                else:
+                    for n in ast.walk(sub_t):
+                        if isinstance(n, ast.Name):
+                            new[n.id] = frozenset()
+
+    def _sites_of(self, expr: ast.AST, env: dict) -> frozenset:
+        """May-alias set of the *value* of ``expr`` (reference positions)."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, frozenset())
+        if expr in self.by_node:
+            return frozenset((self.by_node[expr],))
+        if isinstance(expr, ast.IfExp):
+            return self._sites_of(expr.body, env) | \
+                self._sites_of(expr.orelse, env)
+        if isinstance(expr, ast.Starred):
+            return self._sites_of(expr.value, env)
+        if isinstance(expr, ast.NamedExpr):
+            return self._sites_of(expr.value, env)
+        return frozenset()
+
+    def _value_sites(self, expr: ast.AST, env: dict) -> frozenset:
+        """Aliases in reference position inside a returned/stored value:
+        names, direct allocations, and container/tuple literals thereof.
+        ``len(buf)`` or ``buf.nbytes`` are value reads, not references."""
+        out = self._sites_of(expr, env)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for e in expr.elts:
+                out |= self._value_sites(e, env)
+        elif isinstance(expr, ast.Dict):
+            for e in (*expr.keys, *expr.values):
+                if e is not None:
+                    out |= self._value_sites(e, env)
+        elif isinstance(expr, ast.IfExp):
+            out |= self._value_sites(expr.body, env)
+            out |= self._value_sites(expr.orelse, env)
+        elif isinstance(expr, ast.Starred):
+            out |= self._value_sites(expr.value, env)
+        return out
+
+    # -- events --------------------------------------------------------- #
+    def _raise_sites(self, sids, status, how) -> None:
+        for sid in sids:
+            self.verdicts[sid].raise_to(status, how)
+
+    def _scan_events(self, stmt: ast.AST, env: dict) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            loads = {n.id for n in ast.walk(stmt) if isinstance(n, ast.Name)}
+            for name in loads & env.keys():
+                self._raise_sites(env[name], ESCAPES, "closure-capture")
+            return  # the nested body is its own analysis scope
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            self._raise_sites(
+                self._value_sites(stmt.value, env), ESCAPES, "return"
+            )
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            for name in stmt.names:
+                self._raise_sites(
+                    env.get(name, frozenset()), ESCAPES, "global"
+                )
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                self._scan_store(t, stmt.value, env)
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_store(stmt.target, stmt.value, env)
+
+        for expr in header_exprs(stmt):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    self._scan_call(node, env)
+                elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    if node.value is not None:
+                        self._raise_sites(
+                            self._value_sites(node.value, env),
+                            ESCAPES, "yield",
+                        )
+                elif isinstance(node, ast.Lambda):
+                    loads = {
+                        n.id for n in ast.walk(node.body)
+                        if isinstance(n, ast.Name)
+                    }
+                    for name in loads & env.keys():
+                        self._raise_sites(
+                            env[name], ESCAPES, "closure-capture"
+                        )
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.GeneratorExp)):
+                    if isinstance(node.elt, ast.Name):
+                        self._raise_sites(
+                            env.get(node.elt.id, frozenset()),
+                            UNKNOWN, "comprehension element",
+                        )
+
+    def _scan_store(self, target, value, env) -> None:
+        """An assignment: does the stored value make a buffer escape?"""
+        sites = self._value_sites(value, env)
+        if isinstance(target, ast.Name):
+            # container literal: the buffer is now held by the local
+            if sites and isinstance(
+                value, (ast.Tuple, ast.List, ast.Set, ast.Dict)
+            ):
+                for sid in sites:
+                    self.verdicts[sid].held_by.add(target.id)
+            return
+        if not sites:
+            return
+        if isinstance(target, ast.Attribute):
+            self._raise_sites(sites, ESCAPES, "attribute-store")
+        elif isinstance(target, ast.Subscript):
+            self._store_into(target.value, sites, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for t in target.elts:
+                self._scan_store(t, value, env)
+
+    def _store_into(self, recv: ast.AST, sites, env) -> None:
+        """A reference stored into ``recv``: array copy, container, or ?"""
+        if isinstance(recv, ast.Name):
+            if env.get(recv.id) or self.var_kind.get(recv.id) == "array":
+                return  # numpy subscript stores copy values, no aliasing
+            if recv.id in self.param_sites:
+                self._raise_sites(
+                    sites, ESCAPES, f"stored into parameter {recv.id!r}"
+                )
+                return
+            if self.var_kind.get(recv.id) == "container":
+                for sid in sites:
+                    self.verdicts[sid].held_by.add(recv.id)
+                return
+        if isinstance(recv, ast.Attribute):
+            self._raise_sites(
+                sites, ESCAPES, f"stored into attribute {recv.attr!r}"
+            )
+            return
+        self._raise_sites(sites, UNKNOWN, "stored into object of unknown kind")
+
+    def _scan_call(self, call: ast.Call, env: dict) -> None:
+        f = call.func
+        arg_exprs = call.args + [kw.value for kw in call.keywords]
+        arg_sites = frozenset()
+        for a in arg_exprs:
+            arg_sites |= self._value_sites(a, env)
+        # sites referenced via attribute reads (buf.nbytes) count as
+        # ledger evidence but are not escaping references
+        attr_sites = frozenset()
+        for a in arg_exprs:
+            for n in ast.walk(a):
+                if isinstance(n, ast.Attribute) and \
+                        isinstance(n.value, ast.Name):
+                    attr_sites |= env.get(n.value.id, frozenset())
+
+        # 1. ledger / tracked-constructor / charge-helper evidence
+        if isinstance(f, ast.Attribute) and f.attr in _LEDGER_METHODS:
+            self._raise_sites(arg_sites | attr_sites, REGISTERED, f.attr)
+            return
+        fname = f.id if isinstance(f, ast.Name) else (
+            f.attr if isinstance(f, ast.Attribute) else None
+        )
+        if fname and (fname.startswith("tracked_")
+                      or fname.startswith("_charge")):
+            self._raise_sites(arg_sites | attr_sites, REGISTERED, fname)
+            return
+        if not arg_sites:
+            return
+
+        # 2. numpy API and methods on known arrays never retain references
+        if self._is_numpy_rooted(f):
+            return
+        if isinstance(f, ast.Attribute):
+            if f.attr in _CONTAINER_METHODS:
+                self._store_into(f.value, arg_sites, env)
+                return
+            if isinstance(f.value, ast.Name) and (
+                env.get(f.value.id)
+                or self.var_kind.get(f.value.id) == "array"
+            ):
+                return  # method on a buffer (searchsorted/fill/...): safe
+        if isinstance(f, ast.Name):
+            if f.id in _SAFE_CALLEES:
+                return
+            # 3. module-local callee: use its one-level summary
+            summary = (
+                self.summaries.param_escape(f.id) if self.summaries else None
+            )
+            if summary is not None:
+                self._apply_summary(call, summary, env)
+                return
+        self._raise_sites(
+            arg_sites, UNKNOWN,
+            f"passed to unknown callee {fname or '<expr>'!r}",
+        )
+
+    def _is_numpy_rooted(self, f: ast.AST) -> bool:
+        node = f
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return isinstance(node, ast.Name) and node.id in self.mod.np_aliases
+
+    def _apply_summary(self, call, summary, env) -> None:
+        names = summary["params"]
+        callee = getattr(call.func, "id", "<callee>")
+        pairs: list[tuple[frozenset, str]] = []
+        for i, a in enumerate(call.args):
+            status = summary["escape"].get(names[i]) if i < len(names) \
+                else UNKNOWN
+            pairs.append((self._value_sites(a, env), status or UNKNOWN))
+        for kw in call.keywords:
+            pairs.append((
+                self._value_sites(kw.value, env),
+                summary["escape"].get(kw.arg, UNKNOWN) or UNKNOWN,
+            ))
+        for sites, status in pairs:
+            if not sites or status == LOCAL:
+                continue
+            if status == REGISTERED:
+                self._raise_sites(
+                    sites, REGISTERED, f"registered inside {callee!r}"
+                )
+            elif status == ESCAPES:
+                self._raise_sites(
+                    sites, ESCAPES, f"escapes inside callee {callee!r}"
+                )
+            else:
+                self._raise_sites(
+                    sites, UNKNOWN, f"unresolved inside callee {callee!r}"
+                )
+
+    # -- container indirection ------------------------------------------ #
+    def _resolve_containers(self) -> None:
+        """A buffer held only by local containers inherits their fate."""
+        fates: dict[str, tuple[str, str]] = {}
+        for v in self.verdicts.values():
+            for name in v.held_by:
+                if name not in fates:
+                    fates[name] = self._container_fate(name)
+        for v in self.verdicts.values():
+            if not v.held_by or _PRIORITY[v.status] >= _PRIORITY[ESCAPES]:
+                continue
+            for name in v.held_by:
+                status, how = fates[name]
+                if status != LOCAL:
+                    v.raise_to(status, how)
+
+    def _in_ref_position(self, expr: ast.AST, name: str) -> bool:
+        """Is ``name`` used as a *reference* in a returned/stored value
+        (directly, or inside a tuple/list/dict literal or IfExp arm)?
+        ``sum(x[0] for x in name)`` only reads values and does not count."""
+        if isinstance(expr, ast.Name):
+            return expr.id == name
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(self._in_ref_position(e, name) for e in expr.elts)
+        if isinstance(expr, ast.Dict):
+            return any(
+                e is not None and self._in_ref_position(e, name)
+                for e in (*expr.keys, *expr.values)
+            )
+        if isinstance(expr, ast.IfExp):
+            return self._in_ref_position(expr.body, name) or \
+                self._in_ref_position(expr.orelse, name)
+        if isinstance(expr, ast.Starred):
+            return self._in_ref_position(expr.value, name)
+        return False
+
+    def _container_fate(self, name: str) -> tuple[str, str]:
+        """Does the local container ``name`` itself leave the function?"""
+        for node in ast.walk(self.fn):
+            if not self._mine(node):
+                continue
+            if isinstance(node, ast.Return) and node.value is not None:
+                if self._in_ref_position(node.value, name):
+                    return (ESCAPES, f"container {name!r} is returned")
+            if isinstance(node, ast.Assign):
+                stored = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+                if stored and self._in_ref_position(node.value, name):
+                    return (ESCAPES, f"container {name!r} is stored away")
+            if isinstance(node, ast.Call):
+                fn_name = getattr(node.func, "id", None)
+                if fn_name in _SAFE_CALLEES or self._is_numpy_rooted(
+                        node.func):
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == name
+                ):
+                    continue  # chunks.append(...): not an escape of chunks
+                for a in node.args + [kw.value for kw in node.keywords]:
+                    if any(
+                        isinstance(n, ast.Name) and n.id == name
+                        for n in ast.walk(a)
+                    ):
+                        return (
+                            UNKNOWN, f"container {name!r} passed to a callee"
+                        )
+        return (LOCAL, "")
+
+
+def analyze_function(mod, fn: ast.AST, summaries=None) -> FunctionEscape:
+    """Escape-analyze one function of ``mod``.
+
+    ``summaries`` is an optional call-graph summary provider exposing
+    ``param_escape(name) -> {"params": [...], "escape": {...}} | None``.
+    """
+    return _Analysis(mod, fn, summaries).run()

@@ -1,25 +1,32 @@
-"""Pass 3: integer-width safety (IW001-IW002).
+"""Pass 3: integer-width safety (IW001-IW002), flow-sensitive.
 
 Graph IDs in this codebase routinely exceed 32 bits (the paper's graphs
 have up to 129 billion edges), so a silent narrowing -- storing int64
 vertex IDs into an int32 buffer, or an unguarded ``astype`` -- corrupts
-high IDs with no exception.  This pass runs a small dtype-inference over
-each function and reports:
+high IDs with no exception.  This pass runs a dtype inference over each
+function's control-flow graph (:mod:`repro.analysis.dataflow`) and
+reports:
 
 * ``IW001`` (warning) -- a subscript store ``narrow[ix] = wide`` where the
   destination's inferred integer width is smaller than the source's.
 * ``IW002`` (warning) -- ``wide.astype(<narrower int>)`` with no guard.
 
 Both are *warnings*: narrowing is legitimate when a bound is established
-first (compression does it deliberately).  A finding is suppressed when
-the function shows a guard before the site -- an ``assert`` statement or
-an ``np.iinfo`` bound check -- or carries an explicit
-``# repro-lint: ignore[int-width]``.
+first (compression does it deliberately).  A finding is suppressed when a
+guard -- an ``assert`` statement or an ``np.iinfo`` bound check --
+**dominates** the site in the CFG (every path from the entry to the site
+passes the guard), or when the site carries an explicit
+``# repro-lint: ignore[int-width]``.  A guard inside one branch of an
+``if`` no longer silences sites in the sibling branch or after the join,
+which the old line-number heuristic got wrong.
 
-The inference is deliberately linear and local: it follows direct
-constructor calls (``np.empty(n, dtype=np.int32)``, ``tracked_zeros``,
-``np.arange``, ``astype``) and gives up on anything else.  No finding is
-ever produced for a name whose dtype is unknown.
+Inference is flow-sensitive: variable widths are tracked per CFG block
+and joined at merge points on the "same or unknown" lattice -- a name
+bound ``int32`` on one path and ``int64`` on another is *unknown* after
+the merge, and no finding is ever produced for an unknown width.  It
+still only follows direct constructor calls (``np.empty(n,
+dtype=np.int32)``, ``tracked_zeros``, ``np.arange``, ``astype``) and
+gives up on anything else.
 """
 
 from __future__ import annotations
@@ -27,6 +34,13 @@ from __future__ import annotations
 import ast
 
 from repro.analysis.core import Finding, Module
+from repro.analysis.dataflow import (
+    Block,
+    build_cfg,
+    fixpoint,
+    header_exprs,
+    join_env,
+)
 
 PASS_ID = "int-width"
 
@@ -89,8 +103,9 @@ def _infer_call_width(mod: Module, call: ast.Call) -> int | None:
         return _dtype_width(mod, call.args[0])
     name = mod.is_np_call(call, _CTOR_FUNCS)
     if name is None and isinstance(f, ast.Name) and f.id.startswith("tracked_"):
-        name = f.id  # repro.memory.scratch constructors: dtype is arg 1
-        return _dtype_width(mod, _dtype_arg(call, 1)) or 64  # int64 default
+        # repro.memory.scratch constructors: int64 unless told otherwise
+        pos = 2 if f.id == "tracked_full" else 1
+        return _dtype_width(mod, _dtype_arg(call, pos)) or 64
     if name is None:
         return None
     # positional dtype slot per constructor signature
@@ -115,106 +130,161 @@ def _expr_width(mod: Module, node: ast.AST, env: dict[str, int]) -> int | None:
     return None
 
 
-def _guard_lines(fn: ast.AST) -> list[int]:
-    """Lines of guards (asserts / np.iinfo bound checks) inside ``fn``."""
-    out = []
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Assert):
-            out.append(node.lineno)
-        elif (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "iinfo"
-        ):
-            out.append(node.lineno)
-    return out
+def _is_guard_stmt(stmt: ast.stmt) -> bool:
+    """Assert or a statement whose header evaluates an np.iinfo call."""
+    if isinstance(stmt, ast.Assert):
+        return True
+    for expr in header_exprs(stmt):
+        for node in ast.walk(expr):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "iinfo"
+            ):
+                return True
+    return False
+
+
+def _kill(env: dict[str, int], target: ast.AST) -> None:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            env.pop(node.id, None)
+
+
+def _apply_stmt(mod: Module, stmt: ast.stmt, env: dict[str, int]) -> None:
+    """Update the width environment in place for one statement."""
+    if isinstance(stmt, ast.Assign):
+        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+            w = _expr_width(mod, stmt.value, env)
+            if w is not None:
+                env[stmt.targets[0].id] = w
+            else:
+                env.pop(stmt.targets[0].id, None)  # dtype no longer known
+        else:
+            for t in stmt.targets:
+                if not isinstance(t, ast.Subscript):
+                    _kill(env, t)
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name):
+            w = (
+                _expr_width(mod, stmt.value, env)
+                if stmt.value is not None
+                else None
+            )
+            if w is not None:
+                env[stmt.target.id] = w
+            else:
+                env.pop(stmt.target.id, None)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        # iterating an int array yields scalars of its element width
+        w = _expr_width(mod, stmt.iter, env)
+        if isinstance(stmt.target, ast.Name) and w is not None:
+            env[stmt.target.id] = w
+        else:
+            _kill(env, stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                _kill(env, item.optional_vars)
 
 
 def _check_function(mod: Module, fn: ast.AST, findings: list[Finding]) -> None:
-    env: dict[str, int] = {}
-    guards = _guard_lines(fn)
+    cfg = build_cfg(fn)
+    dom = cfg.dominators()
 
-    def guarded(line: int) -> bool:
-        return any(g < line for g in guards)
-
-    body = [
-        n
-        for n in ast.walk(fn)
-        if isinstance(
-            n, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Return)
-        )
-        and mod.enclosing_function(n) is fn  # nested defs get their own run
+    guards: list[tuple[Block, int]] = [
+        (block, stmt.lineno)
+        for block in cfg.blocks
+        for stmt in block.stmts
+        if _is_guard_stmt(stmt)
     ]
-    body.sort(key=lambda n: n.lineno)
-    for stmt in body:
-        scope = mod.qualname(stmt)
-        # IW002: narrowing astype anywhere in the statement
-        for call in ast.walk(stmt):
-            if not (
-                isinstance(call, ast.Call)
-                and isinstance(call.func, ast.Attribute)
-                and call.func.attr == "astype"
-                and call.args
-            ):
-                continue
-            target_w = _dtype_width(mod, call.args[0])
-            source_w = _expr_width(mod, call.func.value, env)
-            if (
-                target_w is not None
-                and source_w is not None
-                and target_w < source_w
-                and not guarded(call.lineno)
-            ):
-                findings.append(
-                    Finding(
-                        PASS_ID,
-                        "IW002",
-                        "warning",
-                        mod.rel,
-                        call.lineno,
-                        f"unguarded cast int{source_w} -> int{target_w} in "
-                        f"{scope}; assert the bound (np.iinfo) first or "
-                        "suppress with a justification",
-                        subject=f"{scope}:astype{target_w}",
-                    )
-                )
 
-        if not isinstance(stmt, ast.Assign):
-            continue
-        # IW001: narrowing subscript store
-        for t in stmt.targets:
-            if not (
-                isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name)
-            ):
-                continue
-            dst_w = env.get(t.value.id)
-            src_w = _expr_width(mod, stmt.value, env)
-            if (
-                dst_w is not None
-                and src_w is not None
-                and dst_w < src_w
-                and not guarded(stmt.lineno)
-            ):
-                findings.append(
-                    Finding(
-                        PASS_ID,
-                        "IW001",
-                        "warning",
-                        mod.rel,
-                        stmt.lineno,
-                        f"store of int{src_w} values into int{dst_w} array "
-                        f"{t.value.id!r} in {scope} can truncate high IDs",
-                        subject=f"{scope}:{t.value.id}",
-                    )
-                )
-        # update the env from simple name assignments
-        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
-            name = stmt.targets[0].id
-            w = _expr_width(mod, stmt.value, env)
-            if w is not None:
-                env[name] = w
-            else:
-                env.pop(name, None)  # dtype no longer known
+    def guarded(block: Block, line: int) -> bool:
+        for gb, gl in guards:
+            if gb.bid == block.bid:
+                if gl < line:
+                    return True
+            elif cfg.dominates(dom, gb, block):
+                return True
+        return False
+
+    def transfer(block: Block, env: dict[str, int]) -> dict[str, int]:
+        out = dict(env)
+        for stmt in block.stmts:
+            _apply_stmt(mod, stmt, out)
+        return out
+
+    ins, _outs = fixpoint(cfg, transfer, {}, join_env)
+
+    for block in cfg.blocks:
+        env = ins.get(block.bid)
+        if env is None:
+            continue  # unreachable: no findings from dead code
+        env = dict(env)
+        for stmt in block.stmts:
+            scope = mod.qualname(stmt)
+            # IW002: narrowing astype evaluated by this statement
+            for expr in header_exprs(stmt):
+                for call in ast.walk(expr):
+                    if not (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "astype"
+                        and call.args
+                    ):
+                        continue
+                    target_w = _dtype_width(mod, call.args[0])
+                    source_w = _expr_width(mod, call.func.value, env)
+                    if (
+                        target_w is not None
+                        and source_w is not None
+                        and target_w < source_w
+                        and not guarded(block, call.lineno)
+                    ):
+                        findings.append(
+                            Finding(
+                                PASS_ID,
+                                "IW002",
+                                "warning",
+                                mod.rel,
+                                call.lineno,
+                                f"unguarded cast int{source_w} -> "
+                                f"int{target_w} in {scope}; assert the bound "
+                                "(np.iinfo) first or suppress with a "
+                                "justification",
+                                subject=f"{scope}:astype{target_w}",
+                            )
+                        )
+            # IW001: narrowing subscript store
+            if isinstance(stmt, ast.Assign):
+                for t in stmt.targets:
+                    if not (
+                        isinstance(t, ast.Subscript)
+                        and isinstance(t.value, ast.Name)
+                    ):
+                        continue
+                    dst_w = env.get(t.value.id)
+                    src_w = _expr_width(mod, stmt.value, env)
+                    if (
+                        dst_w is not None
+                        and src_w is not None
+                        and dst_w < src_w
+                        and not guarded(block, stmt.lineno)
+                    ):
+                        findings.append(
+                            Finding(
+                                PASS_ID,
+                                "IW001",
+                                "warning",
+                                mod.rel,
+                                stmt.lineno,
+                                f"store of int{src_w} values into int{dst_w} "
+                                f"array {t.value.id!r} in {scope} can "
+                                "truncate high IDs",
+                                subject=f"{scope}:{t.value.id}",
+                            )
+                        )
+            _apply_stmt(mod, stmt, env)
 
 
 def run(mod: Module) -> list[Finding]:

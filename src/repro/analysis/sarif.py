@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 export for ``repro lint`` reports.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+format GitHub code scanning ingests: uploading the file produced here
+annotates pull requests with the lint findings inline.  Only the small
+subset of the spec that code scanning actually reads is emitted -- one
+``run`` with a ``tool.driver`` describing the passes, one ``rule`` per
+finding code, and one ``result`` per finding.
+
+The ``results`` array contains only *new* findings when a baseline was
+applied (``report.new``); baselined findings are historical debt that the
+gate already tolerates and would only add noise to PR annotations.  When
+no baseline is in play the full ``findings`` list is exported.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding, LintReport, fingerprint
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+# severity -> SARIF level
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rules(findings: list[Finding]) -> list[dict]:
+    """One reportingDescriptor per distinct finding code, sorted."""
+    by_code: dict[str, Finding] = {}
+    for f in findings:
+        by_code.setdefault(f.code, f)
+    return [
+        {
+            "id": code,
+            "name": by_code[code].pass_id,
+            "shortDescription": {"text": f"{by_code[code].pass_id} ({code})"},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(by_code[code].severity, "warning")
+            },
+        }
+        for code in sorted(by_code)
+    ]
+
+
+def _result(f: Finding, rule_index: dict[str, int]) -> dict:
+    return {
+        "ruleId": f.code,
+        "ruleIndex": rule_index[f.code],
+        "level": _LEVELS.get(f.severity, "warning"),
+        "message": {"text": f"[{f.pass_id}] {f.message}"},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.file,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                }
+            }
+        ],
+        # line-insensitive identity so code scanning tracks a finding
+        # across unrelated edits, matching the baseline semantics
+        "partialFingerprints": {"reproLint/v1": fingerprint(f)},
+    }
+
+
+def to_sarif(report: LintReport, *, baselined: bool = True) -> dict:
+    """Render a :class:`LintReport` as a SARIF 2.1.0 ``log`` dict.
+
+    With ``baselined=True`` (the default) only findings not absorbed by
+    the baseline are exported; pass ``False`` to export everything.
+    """
+    findings = report.new if baselined else report.findings
+    rules = _rules(findings)
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "src/"}},
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }
+
+
+def write_sarif(report: LintReport, path: Path, *, baselined: bool = True) -> None:
+    path.write_text(json.dumps(to_sarif(report, baselined=baselined), indent=2) + "\n")

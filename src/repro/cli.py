@@ -198,10 +198,23 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     report = analysis.lint_paths(paths, baseline=baseline_path, passes=passes)
-    print(analysis.render_text(report, gate=args.gate))
+    if args.format == "sarif":
+        import json
+
+        from repro.analysis.sarif import to_sarif
+
+        print(json.dumps(to_sarif(report), indent=2))
+    else:
+        print(analysis.render_text(report, gate=args.gate))
     if args.json:
         analysis.write_json_report(report, Path(args.json))
         print(f"report:     {args.json}")
+    if args.sarif:
+        from repro.analysis.sarif import write_sarif
+
+        write_sarif(report, Path(args.sarif))
+        if args.format != "sarif":
+            print(f"sarif:      {args.sarif}")
     if args.gate:
         if report.new:
             print(f"lint gate: FAILED ({len(report.new)} new findings)")
@@ -709,6 +722,18 @@ def build_parser() -> argparse.ArgumentParser:
         "parallel-access,untracked-alloc,int-width,phase-discipline",
     )
     p.add_argument("--json", default=None, help="write a JSON report here")
+    p.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="stdout format: human-readable text or SARIF 2.1.0 "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--sarif",
+        default=None,
+        help="also write a SARIF 2.1.0 report here (for code-scanning upload)",
+    )
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.context import PartitionContext
 from repro.graph.access import full_adjacency, traversal_cost
 from repro.graph.csr import CSRGraph
+from repro.memory.scratch import tracked_empty, tracked_full
 
 
 @dataclass
@@ -37,7 +38,7 @@ def _dense_remap(clusters: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
     """Map sparse leader IDs to dense coarse IDs [0, n') in leader order."""
     leaders = np.unique(clusters)
     n_coarse = len(leaders)
-    remap = np.full(len(clusters), -1, dtype=np.int64)
+    remap = tracked_full(len(clusters), -1, np.int64, name="contract-remap")
     remap[leaders] = np.arange(n_coarse, dtype=np.int64)
     fine_to_coarse = remap[clusters]
     return fine_to_coarse, leaders, n_coarse
@@ -63,7 +64,7 @@ def aggregate_coarse_edges(
     order = np.argsort(key, kind="stable")
     key_s = key[order]
     w_s = wgt[order]
-    boundary = np.empty(len(key_s), dtype=bool)
+    boundary = tracked_empty(len(key_s), bool, name="contract-edge-bounds")
     boundary[0] = True
     boundary[1:] = key_s[1:] != key_s[:-1]
     starts = np.flatnonzero(boundary)

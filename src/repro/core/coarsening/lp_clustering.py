@@ -244,7 +244,7 @@ def label_propagation_clustering(
                                 # test-only injection drops the CAS claim so
                                 # fuzzed schedules must catch the plain-write
                                 # race
-                                # repro-lint: ignore[parallel-access]
+                                # repro-lint: ignore[parallel-access] -- deliberate race injection; the fuzzed-schedule tests must see the unprotected write
                                 det.record_write("cluster-weights", touched)
                             else:
                                 rec.atomic("cluster-weights", touched)
@@ -296,7 +296,7 @@ def label_propagation_clustering(
                                 # test-only injection drops the CAS claim so
                                 # fuzzed schedules must catch the plain-write
                                 # race
-                                # repro-lint: ignore[parallel-access]
+                                # repro-lint: ignore[parallel-access] -- deliberate race injection; the fuzzed-schedule tests must see the unprotected write
                                 det.record_write(
                                     "cluster-weights", touched_weights
                                 )

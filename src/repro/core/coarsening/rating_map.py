@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.parallel.atomics import AtomicArray
+from repro.memory.scratch import tracked_full, tracked_zeros
 
 
 def _next_pow2(x: int) -> int:
@@ -44,8 +45,12 @@ class FixedCapacityHashTable:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = _next_pow2(2 * capacity)
-        self._keys = np.full(self.capacity, self.EMPTY, dtype=np.int64)
-        self._vals = np.zeros(self.capacity, dtype=np.int64)
+        self._keys = tracked_full(
+            self.capacity, self.EMPTY, np.int64, name="hash-table-keys"
+        )
+        self._vals = tracked_zeros(
+            self.capacity, np.int64, name="hash-table-vals"
+        )
         self._size = 0
 
     def __len__(self) -> int:
@@ -120,7 +125,9 @@ class SparseArrayRatingMap:
     """
 
     def __init__(self, n: int, num_threads: int = 1) -> None:
-        self._atomic = AtomicArray(np.zeros(n, dtype=np.int64))
+        self._atomic = AtomicArray(
+            tracked_zeros(n, np.int64, name="sparse-rating-array")
+        )
         self._nonzero: list[list[int]] = [[] for _ in range(num_threads)]
         self.num_threads = num_threads
 

@@ -12,6 +12,8 @@ import heapq
 
 import numpy as np
 
+from repro.memory.scratch import tracked_ones, tracked_zeros
+
 
 def greedy_graph_growing_bipartition(
     graph,
@@ -26,14 +28,14 @@ def greedy_graph_growing_bipartition(
     """
     n = graph.n
     vwgt = np.asarray(graph.vwgt)
-    part = np.ones(n, dtype=np.int32)
+    part = tracked_ones(n, np.int32, name="bipartition-part")
     if n == 0:
         return part
-    in_block = np.zeros(n, dtype=bool)
+    in_block = tracked_zeros(n, bool, name="bipartition-in-block")
     # a vertex that once exceeded the cap can never fit later (the block
     # only grows), so block it permanently to guarantee termination
-    blocked = np.zeros(n, dtype=bool)
-    gain = np.zeros(n, dtype=np.int64)
+    blocked = tracked_zeros(n, bool, name="bipartition-blocked")
+    gain = tracked_zeros(n, np.int64, name="bipartition-gain")
     heap: list[tuple[int, int, int]] = []
     counter = 0
     weight0 = 0
@@ -82,7 +84,7 @@ def random_bipartition(
     """Random balanced assignment (portfolio diversity / fallback)."""
     n = graph.n
     vwgt = np.asarray(graph.vwgt)
-    part = np.ones(n, dtype=np.int32)
+    part = tracked_ones(n, np.int32, name="bipartition-part")
     weight0 = 0
     for u in rng.permutation(n).tolist():
         if weight0 >= target_weight0:
@@ -100,8 +102,8 @@ def bfs_bipartition(
 
     n = graph.n
     vwgt = np.asarray(graph.vwgt)
-    part = np.ones(n, dtype=np.int32)
-    visited = np.zeros(n, dtype=bool)
+    part = tracked_ones(n, np.int32, name="bipartition-part")
+    visited = tracked_zeros(n, bool, name="bipartition-visited")
     weight0 = 0
     order = rng.permutation(n)
     oi = 0

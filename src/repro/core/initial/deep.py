@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.initial.recursive import bipartition_portfolio, extract_subgraph
 from repro.core.partition import PartitionedGraph
+from repro.memory.scratch import tracked_zeros
 
 
 @dataclass
@@ -69,7 +70,7 @@ def deep_initial_partition(
         budgets=np.array([k], dtype=np.int64),
         epsilon=epsilon,
     )
-    part = np.zeros(coarsest.n, dtype=np.int32)
+    part = tracked_zeros(coarsest.n, np.int32, name="deep-initial-part")
     pgraph = PartitionedGraph(coarsest, max(1, k), part)
     _split_until(
         pgraph,

@@ -66,7 +66,7 @@ def fm2way_refine(
 
     for _ in range(rounds):
         gain = _gains(graph, part)
-        locked = np.zeros(n, dtype=bool)
+        locked = tracked_zeros(n, bool, name="fm2way-locked")
         heap: list[tuple[int, int, int]] = []
         counter = 0
         for u in range(n):

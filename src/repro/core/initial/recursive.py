@@ -20,6 +20,7 @@ from repro.core.initial.bipartition import (
 )
 from repro.core.initial.fm2way import cut2way, fm2way_refine
 from repro.graph.csr import CSRGraph
+from repro.memory.scratch import tracked_full, tracked_zeros
 
 
 def extract_subgraph(
@@ -27,7 +28,7 @@ def extract_subgraph(
 ) -> tuple[CSRGraph, np.ndarray]:
     """Induced subgraph on ``mask``; returns ``(subgraph, original_ids)``."""
     ids = np.flatnonzero(mask)
-    local = np.full(graph.n, -1, dtype=np.int64)
+    local = tracked_full(graph.n, -1, np.int64, name="subgraph-local-ids")
     local[ids] = np.arange(len(ids), dtype=np.int64)
     if hasattr(graph, "indptr"):
         src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
@@ -49,7 +50,7 @@ def extract_subgraph(
     order = np.lexsort((d, s))
     s, d, w = s[order], d[order], w[order]
     degrees = np.bincount(s, minlength=nsub).astype(np.int64)
-    indptr = np.zeros(nsub + 1, dtype=np.int64)
+    indptr = tracked_zeros(nsub + 1, np.int64, name="subgraph-indptr")
     np.cumsum(degrees, out=indptr[1:])
     unit = bool(len(w) == 0 or np.all(w == 1))
     vwgt = np.asarray(graph.vwgt)[ids].copy()
@@ -101,7 +102,7 @@ def initial_partition(
     fm_rounds: int = 2,
 ) -> np.ndarray:
     """k-way partition of (the coarsest) ``graph`` via recursive bisection."""
-    part = np.zeros(graph.n, dtype=np.int32)
+    part = tracked_zeros(graph.n, np.int32, name="recursive-part")
     if k <= 1:
         return part
     depth = max(1, math.ceil(math.log2(k)))

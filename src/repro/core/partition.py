@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.memory.scratch import tracked_zeros
+
 
 def max_block_weight(total_weight: int, k: int, epsilon: float) -> int:
     """The balance ceiling ``L_max = (1+eps) * ceil(w(V)/k)``."""
@@ -33,7 +35,7 @@ class PartitionedGraph:
         self.graph = graph
         self.k = k
         self.partition = partition
-        self.block_weights = np.zeros(k, dtype=np.int64)
+        self.block_weights = tracked_zeros(k, np.int64, name="block-weights")
         np.add.at(self.block_weights, partition, np.asarray(graph.vwgt))
 
     # ------------------------------------------------------------------ #
@@ -112,7 +114,7 @@ class PartitionedGraph:
 
     def validate(self) -> None:
         """Check invariants: weights consistent, assignment in range."""
-        bw = np.zeros(self.k, dtype=np.int64)
+        bw = tracked_zeros(self.k, np.int64, name="validate-block-weights")
         np.add.at(bw, self.partition, np.asarray(self.graph.vwgt))
         if not np.array_equal(bw, self.block_weights):
             raise AssertionError("block weights out of sync with partition")

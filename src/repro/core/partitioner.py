@@ -21,6 +21,7 @@ from repro.core.config import PartitionerConfig, terapart
 from repro.core.context import PartitionContext
 from repro.core.initial.recursive import initial_partition
 from repro.core.partition import PartitionedGraph, max_block_weight
+from repro.memory.scratch import tracked_full
 from repro.core.refinement.balancer import rebalance
 from repro.core.refinement.fm_localized import fm_refine_localized
 from repro.core.refinement.fm_refine import fm_refine
@@ -382,7 +383,7 @@ def _partition_phases(graph, k, config, ctx, inv, checks_run):
             blocks, so its ceiling is budgets[b] * ceil(w/k) * (1+eps))."""
             if deep_state is None or deep_state.done():
                 return lmax
-            limits = np.full(k, lmax, dtype=np.int64)
+            limits = tracked_full(k, lmax, np.int64, name="block-limits")
             per_final = -(-graph.total_vertex_weight // k)
             kc = deep_state.k_current
             limits[:kc] = (

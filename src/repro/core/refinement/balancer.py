@@ -13,6 +13,7 @@ import heapq
 import numpy as np
 
 from repro.core.partition import PartitionedGraph
+from repro.memory.scratch import tracked_zeros
 
 
 def rebalance(pgraph: PartitionedGraph, max_block_weight, *, tracer=None) -> int:
@@ -49,7 +50,7 @@ def rebalance(pgraph: PartitionedGraph, max_block_weight, *, tracer=None) -> int
             if len(nbrs):
                 blocks = part[nbrs]
                 uniq, inv = np.unique(blocks, return_inverse=True)
-                aff = np.zeros(len(uniq), dtype=np.int64)
+                aff = tracked_zeros(len(uniq), np.int64, name="rebalance-affinity")
                 np.add.at(aff, inv, wgts)
                 own = int(aff[np.searchsorted(uniq, b)]) if b in uniq else 0
                 ext = [

@@ -25,6 +25,7 @@ from repro.core.context import PartitionContext
 from repro.core.partition import PartitionedGraph
 from repro.core.refinement.fm_refine import _best_move
 from repro.core.refinement.gain_table import make_gain_table
+from repro.memory.scratch import tracked_zeros
 
 
 def fm_refine_localized(
@@ -79,7 +80,7 @@ def _localized_pass(
     max_region: int,
 ) -> int:
     g = pgraph.graph
-    locked = np.zeros(g.n, dtype=bool)
+    locked = tracked_zeros(g.n, bool, name="fm-locked")
     seeds = pgraph.boundary_vertices()
     if len(seeds) == 0:
         return 0

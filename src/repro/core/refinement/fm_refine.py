@@ -20,6 +20,7 @@ from repro.core.context import PartitionContext
 from repro.core.kernels import segment_best_last
 from repro.core.partition import PartitionedGraph
 from repro.core.refinement.gain_table import make_gain_table
+from repro.memory.scratch import tracked_zeros
 
 
 def _best_move(table, pgraph: PartitionedGraph, u: int, max_block_weight: int):
@@ -107,7 +108,7 @@ def _fm_pass(
     heap: list[tuple[int, int, int, int]] = []  # (-gain, tiebreak, u, target)
     counter = 0
     in_moves: list[tuple[int, int, int]] = []  # (u, src, dst)
-    locked = np.zeros(pgraph.graph.n, dtype=bool)
+    locked = tracked_zeros(pgraph.graph.n, bool, name="fm-locked")
 
     if ctx.config.use_bulk_kernels:
         # score every seed in one batched pass; winners surface in seed

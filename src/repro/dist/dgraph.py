@@ -27,6 +27,7 @@ from repro.graph.compressed import (
     encode_neighborhood,
 )
 from repro.graph.varint import decode_varint
+from repro.memory.scratch import tracked_full, tracked_ones, tracked_zeros
 
 
 @dataclass
@@ -92,7 +93,7 @@ class Shard:
             nbrs = np.concatenate(parts)
             wgts = np.concatenate(wparts) if wparts else None
         if wgts is None:
-            wgts = np.ones(len(nbrs), dtype=np.int64)
+            wgts = tracked_ones(len(nbrs), np.int64, name="shard-unit-weights")
         return nbrs, wgts
 
     @property
@@ -143,9 +144,9 @@ class DistributedGraph:
 def _split_ranges(n: int, size: int) -> np.ndarray:
     base = n // size
     extra = n % size
-    counts = np.full(size, base, dtype=np.int64)
+    counts = tracked_full(size, base, np.int64, name="split-range-counts")
     counts[:extra] += 1
-    ranges = np.zeros(size + 1, dtype=np.int64)
+    ranges = tracked_zeros(size + 1, np.int64, name="split-ranges")
     np.cumsum(counts, out=ranges[1:])
     return ranges
 

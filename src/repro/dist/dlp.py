@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.dist.comm import SimComm
 from repro.dist.dgraph import DistributedGraph
+from repro.memory.scratch import tracked_empty, tracked_full, tracked_zeros
 from repro.obs.dist.cluster import NULL_CLUSTER_OBSERVER
 
 
@@ -30,7 +31,7 @@ def _segment_best(
     key = owner * np.int64(id_space) + labels_of_nbrs
     order = np.argsort(key, kind="stable")
     key_s, w_s = key[order], weights[order]
-    boundary = np.empty(len(key_s), dtype=bool)
+    boundary = tracked_empty(len(key_s), bool, name="segment-boundary")
     boundary[0] = True
     boundary[1:] = key_s[1:] != key_s[:-1]
     starts = np.flatnonzero(boundary)
@@ -42,7 +43,7 @@ def _segment_best(
     jitter = ((pl * 0x9E3779B1) ^ (po * 0x85EBCA6B)) >> 7 & 0x3F
     rank_score = ((2 * ratings + is_current) << 6) | jitter
     ordc = np.lexsort((rank_score, po))
-    last = np.empty(len(ordc), dtype=bool)
+    last = tracked_empty(len(ordc), bool, name="segment-last-mask")
     last[-1] = True
     last[:-1] = po[ordc][1:] != po[ordc][:-1]
     best = ordc[last]
@@ -74,7 +75,11 @@ def _ghost_update_payload(
             pos = np.searchsorted(ghosts, us)
             pos = np.minimum(pos, max(0, len(ghosts) - 1))
             is_ghost = len(ghosts) > 0
-            mask = (ghosts[pos] == us) if is_ghost else np.zeros(len(us), bool)
+            mask = (
+                (ghosts[pos] == us)
+                if is_ghost
+                else tracked_zeros(len(us), bool, name="ghost-mask")
+            )
             row.append(us[mask])
         payload.append(row)
     return payload
@@ -219,7 +224,7 @@ def distributed_lp_refine(
 ) -> int:
     """Batch-synchronous size-constrained LP refinement; returns move count."""
     comm = dgraph.comm
-    vwgt = np.zeros(dgraph.n, dtype=np.int64)
+    vwgt = tracked_zeros(dgraph.n, np.int64, name="dlp-global-vwgt")
     for shard in dgraph.shards:
         vwgt[shard.lo : shard.hi] = shard.vwgt
     total_moves = 0
@@ -236,7 +241,9 @@ def distributed_lp_refine(
                     for i, u in enumerate(mine.tolist()):
                         nv, wv = shard.neighbors_and_weights(u - shard.lo)
                         if len(nv):
-                            owners.append(np.full(len(nv), i, dtype=np.int64))
+                            owners.append(
+                                tracked_full(len(nv), i, np.int64, name="dlp-owners")
+                            )
                             nbrs.append(np.asarray(nv))
                             ws.append(np.asarray(wv))
                     if not owners:
@@ -251,7 +258,9 @@ def distributed_lp_refine(
                     key = owner * np.int64(k) + snapshot[nbr]
                     order = np.argsort(key, kind="stable")
                     key_s, w_s = key[order], w[order]
-                    boundary = np.empty(len(key_s), dtype=bool)
+                    boundary = tracked_empty(
+                        len(key_s), bool, name="dlp-boundary"
+                    )
                     boundary[0] = True
                     boundary[1:] = key_s[1:] != key_s[:-1]
                     starts = np.flatnonzero(boundary)
@@ -261,7 +270,7 @@ def distributed_lp_refine(
                     pb = pair_key % k
                     us_all = mine[po]
                     cur = snapshot[us_all].astype(np.int64)
-                    cur_aff = np.zeros(len(mine), dtype=np.int64)
+                    cur_aff = tracked_zeros(len(mine), np.int64, name="dlp-cur-aff")
                     is_cur = pb == cur
                     cur_aff[po[is_cur]] = ratings[is_cur]
                     gain = ratings - cur_aff[po]
@@ -274,7 +283,7 @@ def distributed_lp_refine(
                         continue
                     po2, pb2, g2 = po[ok], pb[ok], gain[ok]
                     ordc = np.lexsort((g2, po2))
-                    last = np.empty(len(ordc), dtype=bool)
+                    last = tracked_empty(len(ordc), bool, name="dlp-last-mask")
                     last[-1] = True
                     last[:-1] = po2[ordc][1:] != po2[ordc][:-1]
                     best = ordc[last]

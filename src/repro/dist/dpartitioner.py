@@ -33,6 +33,7 @@ from repro.dist.dgraph import DistributedGraph, distribute_graph
 from repro.dist.dlp import distributed_lp_clustering, distributed_lp_refine
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
+from repro.memory.scratch import tracked_empty, tracked_full, tracked_zeros
 from repro.obs.dist.cluster import NULL_CLUSTER_OBSERVER, ClusterObserver
 
 
@@ -104,12 +105,14 @@ def _contract_distributed(
     leader_owner = dgraph.owner_of(leaders)
     counts = np.bincount(leader_owner, minlength=comm.size).astype(np.int64)
     comm.allgather(list(counts))  # every rank learns all counts
-    coarse_ranges = np.zeros(comm.size + 1, dtype=np.int64)
+    coarse_ranges = tracked_zeros(
+        comm.size + 1, np.int64, name="coarse-rank-ranges"
+    )
     np.cumsum(counts, out=coarse_ranges[1:])
     n_coarse = int(coarse_ranges[-1])
     # leaders are sorted, and owner is monotone in leader id (contiguous
     # fine ranges), so within-owner order is just the sorted order
-    remap = np.full(n, -1, dtype=np.int64)
+    remap = tracked_full(n, -1, np.int64, name="dist-contract-remap")
     remap[leaders] = np.arange(n_coarse, dtype=np.int64)
     fine_to_coarse = remap[labels]
 
@@ -129,7 +132,9 @@ def _contract_distributed(
             keep = cvs != cu
             if not np.any(keep):
                 continue
-            srcs.append(np.full(int(keep.sum()), cu, dtype=np.int64))
+            srcs.append(
+                tracked_full(int(keep.sum()), cu, np.int64, name="contract-srcs")
+            )
             dsts.append(cvs[keep])
             ws.append(np.asarray(wv)[keep])
         if not srcs:
@@ -141,7 +146,7 @@ def _contract_distributed(
         key = cu * np.int64(n_coarse) + cv
         order = np.argsort(key, kind="stable")
         key_s, w_s = key[order], w[order]
-        b = np.empty(len(key_s), dtype=bool)
+        b = tracked_empty(len(key_s), bool, name="contract-merge-bounds")
         b[0] = True
         b[1:] = key_s[1:] != key_s[:-1]
         starts = np.flatnonzero(b)
@@ -172,7 +177,7 @@ def _contract_distributed(
         key = cu * np.int64(n_coarse) + cv
         order = np.argsort(key, kind="stable")
         key_s, w_s = key[order], w[order]
-        b = np.empty(len(key_s), dtype=bool)
+        b = tracked_empty(len(key_s), bool, name="contract-merge-bounds")
         b[0] = True
         b[1:] = key_s[1:] != key_s[:-1]
         starts = np.flatnonzero(b)
@@ -183,14 +188,14 @@ def _contract_distributed(
         cu = cv = w = np.empty(0, dtype=np.int64)
     tracer.add("contract.coarse_edges", len(cv))
 
-    vwgt = np.zeros(n_coarse, dtype=np.int64)
-    all_vwgt = np.zeros(n, dtype=np.int64)
+    vwgt = tracked_zeros(n_coarse, np.int64, name="coarse-vwgt")
+    all_vwgt = tracked_zeros(n, np.int64, name="gathered-vwgt")
     for shard in dgraph.shards:
         all_vwgt[shard.lo : shard.hi] = shard.vwgt
     np.add.at(vwgt, fine_to_coarse, all_vwgt)
 
     degrees = np.bincount(cu, minlength=n_coarse).astype(np.int64)
-    indptr = np.zeros(n_coarse + 1, dtype=np.int64)
+    indptr = tracked_zeros(n_coarse + 1, np.int64, name="coarse-indptr")
     np.cumsum(degrees, out=indptr[1:])
     unit = bool(len(w) == 0 or np.all(w == 1))
     coarse = CSRGraph(
@@ -459,7 +464,7 @@ def _rebalance_distributed(
     lmax: int,
 ) -> int:
     """Greedy repair of balance violations (the paper's rebalancing step)."""
-    vwgt = np.zeros(dgraph.n, dtype=np.int64)
+    vwgt = tracked_zeros(dgraph.n, np.int64, name="rebalance-vwgt")
     for shard in dgraph.shards:
         vwgt[shard.lo : shard.hi] = shard.vwgt
     moves = 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.memory.scratch import tracked_empty, tracked_ones, tracked_zeros
 
 
 def from_edges(
@@ -52,7 +53,7 @@ def from_edges(
     src = edges[:, 0].copy()
     dst = edges[:, 1].copy()
     if weights is None:
-        weights = np.ones(len(src), dtype=np.int64)
+        weights = tracked_ones(len(src), np.int64, name="builder-unit-weights")
 
     if symmetrize and len(src):
         # Canonicalise to undirected pairs (min, max).  A duplicate pair --
@@ -64,12 +65,14 @@ def from_edges(
         key = lo * np.int64(n) + hi
         order = np.argsort(key, kind="stable")
         key_s, lo_s, hi_s, w_s = key[order], lo[order], hi[order], weights[order]
-        uniq_mask = np.empty(len(key_s), dtype=bool)
+        uniq_mask = tracked_empty(len(key_s), bool, name="builder-uniq-mask")
         uniq_mask[0] = True
         uniq_mask[1:] = key_s[1:] != key_s[:-1]
         if dedup:
             group_ids = np.cumsum(uniq_mask) - 1
-            w_max = np.zeros(int(group_ids[-1]) + 1, dtype=np.int64)
+            w_max = tracked_zeros(
+                int(group_ids[-1]) + 1, np.int64, name="builder-weight-merge"
+            )
             np.maximum.at(w_max, group_ids, w_s)
             lo, hi, weights = lo_s[uniq_mask], hi_s[uniq_mask], w_max
         else:
@@ -84,11 +87,13 @@ def from_edges(
         key = src * np.int64(n) + dst
         order = np.argsort(key, kind="stable")
         key_s, src_s, dst_s, w_s = key[order], src[order], dst[order], weights[order]
-        uniq_mask = np.empty(len(key_s), dtype=bool)
+        uniq_mask = tracked_empty(len(key_s), bool, name="builder-uniq-mask")
         uniq_mask[0] = True
         uniq_mask[1:] = key_s[1:] != key_s[:-1]
         group_ids = np.cumsum(uniq_mask) - 1
-        w_sum = np.zeros(int(group_ids[-1]) + 1, dtype=np.int64)
+        w_sum = tracked_zeros(
+            int(group_ids[-1]) + 1, np.int64, name="builder-weight-merge"
+        )
         np.add.at(w_sum, group_ids, w_s)
         src, dst, weights = src_s[uniq_mask], dst_s[uniq_mask], w_sum
 
@@ -96,7 +101,7 @@ def from_edges(
     src, dst, weights = src[order], dst[order], weights[order]
 
     degrees = np.bincount(src, minlength=n).astype(np.int64)
-    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr = tracked_zeros(n + 1, np.int64, name="csr-indptr")
     np.cumsum(degrees, out=indptr[1:])
 
     unit = bool(len(weights) == 0 or np.all(weights == 1))

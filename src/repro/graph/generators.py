@@ -26,6 +26,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.memory.scratch import tracked_zeros
+
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
 
@@ -338,7 +340,11 @@ def textlike(n: int, seed: int = 0, *, skip_links: int = 3) -> CSRGraph:
 def star(n: int) -> CSRGraph:
     """Star graph: the extreme high-degree stress case for chunked encoding."""
     edges = np.stack(
-        [np.zeros(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)], axis=1
+        [
+            tracked_zeros(n - 1, np.int64, name="star-centers"),
+            np.arange(1, n, dtype=np.int64),
+        ],
+        axis=1,
     )
     return from_edges(n, edges)
 
@@ -374,8 +380,8 @@ def rmat(
     rng = _rng(seed)
     scale = max(1, int(np.ceil(np.log2(max(2, n)))))
     m = int(n * avg_degree / 2)
-    src = np.zeros(m, dtype=np.int64)
-    dst = np.zeros(m, dtype=np.int64)
+    src = tracked_zeros(m, np.int64, name="rmat-src")
+    dst = tracked_zeros(m, np.int64, name="rmat-dst")
     for level in range(scale):
         r = rng.random(m)
         # quadrant: 0=(0,0) w.p. a, 1=(0,1) w.p. b, 2=(1,0) w.p. c, 3=(1,1)

@@ -27,6 +27,7 @@ from repro.graph.compressed import (
     encode_neighborhood,
 )
 from repro.graph.csr import CSRGraph
+from repro.memory.scratch import tracked_ones, tracked_zeros
 
 MAGIC = b"TPGR"
 VERSION = 1
@@ -222,10 +223,10 @@ def read_metis(path_or_file) -> CSRGraph:
         fmt = header[2] if len(header) > 2 else "00"
         fmt = fmt.zfill(2)
         has_vw, has_ew = fmt[-2] == "1", fmt[-1] == "1"
-        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr = tracked_zeros(n + 1, np.int64, name="metis-indptr")
         adjncy: list[int] = []
         adjwgt: list[int] = []
-        vwgt = np.ones(n, dtype=np.int64) if has_vw else None
+        vwgt = tracked_ones(n, np.int64, name="metis-vwgt") if has_vw else None
         for u in range(n):
             tokens = f.readline().split()
             i = 0

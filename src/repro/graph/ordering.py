@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.graph.builder import from_edges
 from repro.graph.csr import CSRGraph
+from repro.memory.scratch import tracked_empty, tracked_full
 
 
 def relabel(graph, new_id: np.ndarray) -> CSRGraph:
@@ -39,7 +40,7 @@ def relabel(graph, new_id: np.ndarray) -> CSRGraph:
     edges = np.stack([new_id[src], new_id[dst]], axis=1)
     vwgt = None
     if graph.has_vertex_weights:
-        vwgt = np.empty(graph.n, dtype=np.int64)
+        vwgt = tracked_empty(graph.n, np.int64, name="relabel-vwgt")
         vwgt[new_id] = np.asarray(graph.vwgt)
     unit = not graph.has_edge_weights
     return from_edges(
@@ -59,7 +60,7 @@ def bfs_order(graph, seed: int = 0) -> np.ndarray:
     start vertex is randomized by ``seed``.
     """
     n = graph.n
-    new_id = np.full(n, -1, dtype=np.int64)
+    new_id = tracked_full(n, -1, np.int64, name="bfs-order-labels")
     rng = np.random.default_rng(seed)
     order = rng.permutation(n)
     next_label = 0
@@ -86,7 +87,7 @@ def bfs_order(graph, seed: int = 0) -> np.ndarray:
 def degree_order(graph) -> np.ndarray:
     """Relabel by ascending degree (stable)."""
     perm = np.argsort(graph.degrees, kind="stable")
-    new_id = np.empty(graph.n, dtype=np.int64)
+    new_id = tracked_empty(graph.n, np.int64, name="degree-order-labels")
     new_id[perm] = np.arange(graph.n, dtype=np.int64)
     return new_id
 

@@ -26,6 +26,7 @@ from repro.memory.scratch import (
     install_ledger,
     tracked_empty,
     tracked_full,
+    tracked_ones,
     tracked_zeros,
     uninstall_ledger,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "install_ledger",
     "tracked_empty",
     "tracked_full",
+    "tracked_ones",
     "tracked_zeros",
     "uninstall_ledger",
 ]

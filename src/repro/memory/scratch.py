@@ -62,6 +62,11 @@ def tracked_zeros(shape, dtype=np.int64, *, name: str = "scratch") -> np.ndarray
     return _charge(np.zeros(shape, dtype=dtype), name)
 
 
+def tracked_ones(shape, dtype=np.int64, *, name: str = "scratch") -> np.ndarray:
+    """``np.ones`` that registers the buffer with the scratch ledger."""
+    return _charge(np.ones(shape, dtype=dtype), name)
+
+
 def tracked_full(
     shape, fill_value, dtype=np.int64, *, name: str = "scratch"
 ) -> np.ndarray:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.memory.scratch import tracked_zeros
+
 
 class AtomicCounter:
     """A single 64-bit counter with fetch-add semantics.
@@ -172,7 +174,7 @@ class AtomicArray:
         self.op_count += len(indices)
         if self._detector is not None and len(indices):
             self._detector.record_atomic(self._name, indices)
-        was_zero = np.zeros(len(indices), dtype=bool)
+        was_zero = tracked_zeros(len(indices), bool, name="atomic-was-zero")
         # np.add.at handles duplicates; we need per-op previous values only
         # to detect zero-crossings, so detect duplicates first.
         if len(indices) == 0:

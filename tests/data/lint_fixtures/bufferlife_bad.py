@@ -1,0 +1,26 @@
+"""Known-bad buffer lifetimes: phase-local, escaping and opaque buffers."""
+
+import numpy as np
+
+from repro.some.other import opaque_sink
+
+
+def phase_local_untracked(n):
+    buf = np.empty(n, dtype=np.int64)  # BL001: stays local, never charged
+    buf[:] = 0
+    return int(buf.sum())
+
+
+def escaping_untracked(n):
+    out = np.zeros(n, dtype=np.int64)  # BL002: escapes via return
+    return out
+
+
+def escapes_into_attribute(state, n):
+    scratch = np.empty(n, dtype=np.int64)  # BL002: stored on an object
+    state.scratch = scratch
+
+
+def unknown_fate(n):
+    buf = np.zeros(n, dtype=np.int64)  # BL003: handed to an opaque callee
+    opaque_sink(buf)

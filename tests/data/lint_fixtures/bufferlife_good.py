@@ -1,0 +1,31 @@
+"""Known-good buffer lifetimes: tracked everywhere, clean under all passes."""
+
+import numpy as np
+
+from repro.memory.scratch import tracked_empty, tracked_zeros
+
+
+def phase_local_tracked(n):
+    # tracked scratch: charged to the ledger, freed when collected
+    buf = tracked_empty(n, np.int64, name="fixture-local")
+    buf[:] = 0
+    return int(buf.sum())
+
+
+def escaping_tracked(n):
+    # escaping is fine when the buffer is tracked: the charge follows it
+    out = tracked_zeros(n, np.int64, name="fixture-out")
+    return out
+
+
+def bulk_charged(tracker, n):
+    # function-level region charge covers every allocation inside
+    buf = np.empty(n, dtype=np.int64)
+    tracker.alloc("fixture-bulk", buf.nbytes, "scratch")
+    return buf
+
+
+def small_fixed():
+    # constant O(1) sizes are exempt from lifetime discipline
+    slots = np.zeros(8, dtype=np.int64)
+    return int(slots[0])

@@ -1,0 +1,24 @@
+"""Flow-sensitive width cases that must be flagged.
+
+A guard inside one branch does not dominate the merge point, and a
+reassignment back to a wide dtype kills an earlier guard.
+"""
+
+import numpy as np
+
+
+def guard_only_one_branch(ids, flip):
+    wide = np.asarray(ids, dtype=np.int64)
+    if flip:
+        assert wide.max() <= np.iinfo(np.int32).max
+    return wide.astype(np.int32)  # IW002: guard does not dominate
+
+
+def narrowing_after_merge(n, flip):
+    if flip:
+        src = np.empty(64, dtype=np.int64)
+    else:
+        src = np.empty(64, dtype=np.int64)
+    dst = np.zeros(64, dtype=np.int32)
+    dst[0] = src[1]  # IW001: both paths carry int64 into an int32 store
+    return dst

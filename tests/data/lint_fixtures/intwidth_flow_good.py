@@ -1,0 +1,33 @@
+"""Flow-sensitive width cases that must stay clean.
+
+The old line-ordered checker could not express these: a guard that
+dominates the cast through branching, and a merge where the two sides
+disagree (the join must yield *unknown*, not a false finding).
+"""
+
+import numpy as np
+
+
+def guard_dominates_both_branches(ids, flip):
+    wide = np.asarray(ids, dtype=np.int64)
+    assert wide.max() <= np.iinfo(np.int32).max
+    if flip:
+        return wide.astype(np.int32)  # guarded: dominating assert
+    return wide.astype(np.int32)  # guarded on this path too
+
+
+def merge_makes_width_unknown(flip):
+    if flip:
+        buf = np.zeros(64, dtype=np.int64)
+    else:
+        buf = np.zeros(64, dtype=np.int32)
+    # width differs across the merge -> joined to unknown, no finding
+    return buf.astype(np.int32)
+
+
+def loop_carried_width():
+    acc = np.zeros(64, dtype=np.int64)
+    for _ in range(3):
+        acc = acc + 1
+    assert acc.max() <= np.iinfo(np.int32).max
+    return acc.astype(np.int32)

@@ -1,0 +1,20 @@
+"""Known-bad span protocol: open spans leak through an exit path."""
+
+
+def early_return_leaks(tracker, flip):
+    # repro-lint: ignore[PH002] -- fixture exercises the PH004 state machine
+    span = tracker.phase("refinement")
+    # repro-lint: ignore[PH002] -- fixture exercises the PH004 state machine
+    span.__enter__()  # PH004: the flip path returns without __exit__
+    if flip:
+        return 1
+    span.__exit__(None, None, None)
+    return 0
+
+
+def never_closed(tracker):
+    # repro-lint: ignore[PH002] -- fixture exercises the PH004 state machine
+    span = tracker.phase("coarsening")
+    # repro-lint: ignore[PH002] -- fixture exercises the PH004 state machine
+    span.__enter__()  # PH004: no __exit__ on any path
+    return span

@@ -1,0 +1,24 @@
+"""Known-good span protocol: every opened span closes on every path."""
+
+
+def with_block_span(ctx):
+    with ctx.phase("coarsening"):
+        pass
+
+
+def manual_span_closed_everywhere(tracker, flip):
+    # repro-lint: ignore[PH002] -- fixture exercises the PH004 state machine
+    span = tracker.phase("refinement")
+    # repro-lint: ignore[PH002] -- fixture exercises the PH004 state machine
+    span.__enter__()
+    if flip:
+        span.__exit__(None, None, None)
+        return 1
+    span.__exit__(None, None, None)
+    return 0
+
+
+def never_opened(tracker):
+    # repro-lint: ignore[PH002] -- fixture exercises the PH004 state machine
+    span = tracker.phase("coarsening")
+    return span
